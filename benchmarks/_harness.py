@@ -1,0 +1,190 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(section 6) at laptop scale.  Graphs are the scaled dataset stand-ins (see
+DESIGN.md "Substitutions"); each file prints the same rows/series the paper
+reports and appends its measurements to ``benchmarks/results.json``, which
+EXPERIMENTS.md summarizes.
+
+Scale notes
+-----------
+* ``lj_bench`` is a further-scaled LiveJournal stand-in used where the full
+  ``lj-sim`` graph would push a pure-Python run into minutes per cell.
+* GKS benchmarks use a uniform-degree labeled graph: size-4 enumeration with
+  unlabeled (white) vertices around preferential-attachment hubs is
+  prohibitively slow in pure Python.  All systems run the same graph, so
+  ratios remain meaningful.
+* The paper's window of 100K updates scales to 100 updates.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.engine import TesseractEngine
+from repro.core.metrics import Metrics
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.datasets import GKS_LABELS, load_dataset
+from repro.graph.generators import (
+    assign_labels,
+    barabasi_albert,
+    erdos_renyi,
+    shuffled_edges,
+)
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.ingress import IngressNode
+from repro.streaming.queue import WorkQueue
+from repro.types import MatchDelta, TaskTrace, Update
+
+RESULTS_PATH = Path(__file__).parent / "results.json"
+
+#: scaled default window size (paper: 100K updates per window)
+WINDOW = 100
+
+
+# -- benchmark graphs ---------------------------------------------------------
+
+
+def lj_bench() -> AdjacencyGraph:
+    """Further-scaled LiveJournal stand-in for full-enumeration benchmarks."""
+    return barabasi_albert(400, 4, seed=7)
+
+
+def lj_small() -> AdjacencyGraph:
+    """Smallest LJ stand-in, for the join-based baseline comparisons."""
+    return barabasi_albert(250, 3, seed=7)
+
+
+def gks_bench() -> AdjacencyGraph:
+    """Labeled uniform-degree graph for keyword-search workloads."""
+    g = erdos_renyi(400, 1400, seed=3)
+    assign_labels(g, GKS_LABELS, fraction_labeled=1.0 / 8.0, seed=13)
+    return g
+
+
+def labeled(graph: AdjacencyGraph, num_labels: int = 3, seed: int = 13) -> AdjacencyGraph:
+    labels = [chr(ord("a") + i) for i in range(num_labels)]
+    assign_labels(graph, labels, fraction_labeled=1.0, seed=seed)
+    return graph
+
+
+# -- engine drivers -----------------------------------------------------------
+
+
+def timed_static_run(graph, algorithm, trace_tasks=False, timing=False):
+    """Run Tesseract statically; returns (deltas, seconds, metrics, traces)."""
+    metrics = Metrics(timing_enabled=timing)
+    store = MultiVersionStore.from_adjacency(graph, ts=1)
+    engine = TesseractEngine(store, algorithm, metrics=metrics, trace_tasks=trace_tasks)
+    from repro.streaming.ingress import Window
+    from repro.types import EdgeUpdate
+
+    window = Window(
+        timestamp=1,
+        updates=[EdgeUpdate(u, v, added=True) for u, v in graph.sorted_edges()],
+    )
+    start = time.perf_counter()
+    deltas = engine.process_window(window)
+    seconds = time.perf_counter() - start
+    return deltas, seconds, metrics, engine.traces
+
+
+def incremental_setup(
+    graph: AdjacencyGraph,
+    preload_fraction: float,
+    window: int = WINDOW,
+    seed: int = 5,
+):
+    """Preload a fraction of the graph, return (store, pending_edges).
+
+    Mirrors the paper's evolving-graph methodology (section 6.1): a shuffled
+    subset of edges is preloaded, the rest arrive as updates.
+    """
+    edges = shuffled_edges(graph, seed=seed)
+    cut = int(len(edges) * preload_fraction)
+    preloaded, pending = edges[:cut], edges[cut:]
+    base = AdjacencyGraph()
+    for v in graph.vertices():
+        base.add_vertex(v, label=graph.vertex_label(v))
+    for u, v in preloaded:
+        base.add_edge(u, v)
+    store = MultiVersionStore.from_adjacency(base, ts=1)
+    return store, pending
+
+
+def run_updates(
+    store: MultiVersionStore,
+    algorithm,
+    edge_stream: Sequence[Tuple[Tuple[int, int], bool]],
+    window: int = WINDOW,
+    trace_tasks: bool = False,
+    timing: bool = False,
+):
+    """Feed (edge, added) updates through ingress + engine; time mining only.
+
+    Returns (deltas, mining_seconds, metrics, traces).
+    """
+    queue = WorkQueue()
+    ingress = IngressNode(store, queue, window_size=window)
+    for (u, v), added in edge_stream:
+        ingress.submit(Update.add_edge(u, v) if added else Update.delete_edge(u, v))
+    ingress.flush()
+    metrics = Metrics(timing_enabled=timing)
+    engine = TesseractEngine(store, algorithm, metrics=metrics, trace_tasks=trace_tasks)
+    start = time.perf_counter()
+    deltas = engine.drain_queue(queue)
+    seconds = time.perf_counter() - start
+    return deltas, seconds, metrics, engine
+
+
+def additions(edges: Iterable[Tuple[int, int]]):
+    return [(e, True) for e in edges]
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def record(experiment: str, data: Dict) -> None:
+    """Merge one experiment's measurements into benchmarks/results.json."""
+    existing: Dict = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing[experiment] = data
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+
+
+def fmt_seconds(s: Optional[float]) -> str:
+    if s is None:
+        return "—"
+    if s < 1:
+        return f"{s * 1000:.0f}ms"
+    if s < 120:
+        return f"{s:.2f}s"
+    return f"{s / 60:.1f}min"
+
+
+def fmt_rate(r: float) -> str:
+    if r >= 1e6:
+        return f"{r / 1e6:.2f}M/s"
+    if r >= 1e3:
+        return f"{r / 1e3:.1f}K/s"
+    return f"{r:.0f}/s"

@@ -1,0 +1,28 @@
+"""Graph mining applications from the paper's evaluation (section 6.1)."""
+
+from repro.apps.cliques import CliqueMining, LabeledCliqueMining
+from repro.apps.diamonds import CycleMining, DiamondMining
+from repro.apps.directed import CyclicTriads, FeedForwardLoops, classify_triangle
+from repro.apps.fsm import FrequentSubgraphMining, FSMEvent, FSMPipeline
+from repro.apps.keyword_search import GraphKeywordSearch
+from repro.apps.motif_counting import MotifCounting, count_motifs
+from repro.apps.paths import PathMining
+from repro.apps.pattern_query import PatternQuery
+
+__all__ = [
+    "CliqueMining",
+    "CycleMining",
+    "CyclicTriads",
+    "FeedForwardLoops",
+    "classify_triangle",
+    "DiamondMining",
+    "LabeledCliqueMining",
+    "FrequentSubgraphMining",
+    "FSMEvent",
+    "FSMPipeline",
+    "GraphKeywordSearch",
+    "MotifCounting",
+    "count_motifs",
+    "PathMining",
+    "PatternQuery",
+]

@@ -1,0 +1,81 @@
+"""Diamond and cycle mining — patterns from the paper's introduction.
+
+The paper motivates general mining with "clique or diamond mining" [19,
+30]; a *diamond* is a 4-cycle with one chord (two triangles sharing an
+edge).  Both are written directly in the filter-match model rather than
+compiled from fixed patterns, as a demonstration of anti-monotone filter
+design:
+
+* diamonds: every vertex keeps degree >= 2 once the subgraph has 4
+  vertices; intermediate subgraphs merely cap the edge count;
+* cycles: like path mining, degree <= 2 everywhere and at most one cycle
+  can close — and it must close exactly at the target size.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MiningAlgorithm
+from repro.graph.subgraph import SubgraphView
+
+
+class DiamondMining(MiningAlgorithm):
+    """Enumerate diamonds: K4 minus one edge (vertex-induced)."""
+
+    max_size = 4
+
+    @property
+    def name(self) -> str:
+        return "Diamond"
+
+    def filter(self, s: SubgraphView) -> bool:
+        n = len(s)
+        if n > 4:
+            return False
+        # a diamond's induced subgraphs never exceed these edge counts
+        max_edges = {1: 0, 2: 1, 3: 3, 4: 5}[n]
+        return s.num_edges() <= max_edges
+
+    def match(self, s: SubgraphView) -> bool:
+        if len(s) != 4 or s.num_edges() != 5:
+            return False
+        degrees = sorted(s.degree(v) for v in s)
+        return degrees == [2, 2, 3, 3]
+
+
+class CycleMining(MiningAlgorithm):
+    """Enumerate simple cycles with exactly ``k`` vertices (vertex-induced).
+
+    Vertex-induced semantics mean a matched vertex set's induced subgraph
+    must *be* the cycle — chords disqualify it, which is what makes the
+    degree-2 filter anti-monotone.
+    """
+
+    def __init__(self, k: int = 4) -> None:
+        if k < 3:
+            raise ValueError("cycles need at least 3 vertices")
+        self.max_size = k
+
+    @property
+    def name(self) -> str:
+        return f"{self.max_size}-Cycle"
+
+    def filter(self, s: SubgraphView) -> bool:
+        n = len(s)
+        if n > self.max_size:
+            return False
+        if any(s.degree(v) > 2 for v in s):
+            return False
+        # at most one cycle, and only allowed to close at full size
+        if s.num_edges() > n:
+            return False
+        if s.num_edges() == n and n < self.max_size:
+            return False
+        return True
+
+    def match(self, s: SubgraphView) -> bool:
+        n = len(s)
+        return (
+            n == self.max_size
+            and s.num_edges() == n
+            and all(s.degree(v) == 2 for v in s)
+        )

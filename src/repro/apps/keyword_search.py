@@ -1,0 +1,54 @@
+"""Graph keyword search (k-GKS-n), paper Algorithm 1 and Figure 1.
+
+Given ``n`` labels of interest, find all *minimal* connected subgraphs
+containing exactly one vertex of each label.  Subgraphs may contain
+unlabeled ("white") vertices, but only if removing any one of them would
+disconnect the subgraph — otherwise the subgraph is not minimal.
+
+``filter`` prunes subgraphs with more than one vertex of any label of
+interest (they can never match, and the condition is anti-monotone) and
+bounds the subgraph size.  ``match`` checks that each label appears exactly
+once and that every white vertex is a cut vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.api import MiningAlgorithm
+from repro.graph.subgraph import SubgraphView
+from repro.types import Label
+
+
+class GraphKeywordSearch(MiningAlgorithm):
+    """k-GKS-n: minimal subgraphs of size <= k covering all ``labels``."""
+
+    def __init__(self, labels: Sequence[Label], k: int = 5) -> None:
+        if not labels:
+            raise ValueError("at least one label of interest is required")
+        if len(set(labels)) != len(labels):
+            raise ValueError("labels of interest must be distinct")
+        self.labels: Tuple[Label, ...] = tuple(labels)
+        self.max_size = k
+
+    @property
+    def name(self) -> str:
+        return f"{self.max_size}-GKS-{len(self.labels)}"
+
+    def filter(self, s: SubgraphView) -> bool:
+        if len(s) > self.max_size:
+            return False
+        return all(s.count_label(label) <= 1 for label in self.labels)
+
+    def match(self, s: SubgraphView) -> bool:
+        if any(s.count_label(label) != 1 for label in self.labels):
+            return False
+        wanted = set(self.labels)
+        for v in s:
+            if s.label_of(v) in wanted:
+                continue
+            # White (or other-labeled) vertices must be necessary: removing
+            # one may not leave the subgraph connected (Algorithm 1 line 7).
+            if s.is_connected_without(v):
+                return False
+        return True

@@ -1,0 +1,57 @@
+"""Motif counting (k-MC), paper section 3.3.
+
+Motif counting enumerates *all* connected subgraphs up to size k — the
+``filter`` keeps every subgraph and ``match`` accepts every connected one —
+and counts them per motif downstream:
+
+    stream.GROUPBY(t -> MOTIF(t.subgraph)).COUNT()
+
+The grouping/counting side lives in :mod:`repro.dataflow`; this module
+provides the enumeration algorithm and a convenience differential counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.api import MiningAlgorithm
+from repro.graph.canonical import CanonicalForm, motif_of
+from repro.graph.subgraph import SubgraphView
+from repro.types import MatchDelta
+
+
+class MotifCounting(MiningAlgorithm):
+    """k-MC: enumerate every connected subgraph with min_size..k vertices."""
+
+    def __init__(self, k: int = 3, min_size: int = 3) -> None:
+        if k < 2:
+            raise ValueError("motif size bound must be at least 2")
+        self.max_size = k
+        self.min_size = min_size
+
+    @property
+    def name(self) -> str:
+        return f"{self.max_size}-MC"
+
+    def filter(self, s: SubgraphView) -> bool:
+        return len(s) <= self.max_size
+
+    def match(self, s: SubgraphView) -> bool:
+        return len(s) >= self.min_size
+
+
+def count_motifs(
+    deltas: Iterable[MatchDelta], with_labels: bool = False
+) -> Dict[CanonicalForm, int]:
+    """Differentially fold a delta stream into per-motif counts.
+
+    Equivalent to ``stream.GROUPBY(MOTIF).COUNT()`` — NEW adds one, REM
+    subtracts one.  Groups whose count returns to zero are dropped.
+    """
+    counts: Dict[CanonicalForm, int] = {}
+    for delta in deltas:
+        motif = motif_of(delta.subgraph, with_labels=with_labels)
+        counts[motif] = counts.get(motif, 0) + delta.sign()
+        if counts[motif] == 0:
+            del counts[motif]
+    return counts

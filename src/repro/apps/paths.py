@@ -1,0 +1,45 @@
+"""Simple path mining — the example of paper section 4.3.
+
+A *path* here is a subgraph whose vertices form one simple chain: exactly
+two endpoints of degree 1 and all other vertices of degree 2 (n - 1 edges,
+no cycle).  The paper uses path mining to illustrate that a single update
+can emit both a REM and a NEW for the same vertex set: adding edge (1, 3)
+to the path 1-2-3 removes the path match and creates a triangle, which is
+no longer a path.
+
+``filter`` is the anti-monotone relaxation: a subgraph can still *become* a
+path by future expansions as long as no vertex exceeds degree 2 and no
+cycle has formed (edges <= vertices - 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.api import MiningAlgorithm
+from repro.graph.subgraph import SubgraphView
+
+
+class PathMining(MiningAlgorithm):
+    """Enumerate simple paths with between ``min_size`` and ``k`` vertices."""
+
+    def __init__(self, k: int = 4, min_size: int = 3) -> None:
+        self.max_size = k
+        self.min_size = min_size
+
+    @property
+    def name(self) -> str:
+        return f"{self.max_size}-Path"
+
+    def filter(self, s: SubgraphView) -> bool:
+        n = len(s)
+        if n > self.max_size:
+            return False
+        if s.num_edges() > n - 1:
+            return False  # a cycle can never be undone by expansion
+        return all(s.degree(v) <= 2 for v in s)
+
+    def match(self, s: SubgraphView) -> bool:
+        n = len(s)
+        if n < self.min_size or s.num_edges() != n - 1:
+            return False
+        degree_one = sum(1 for v in s if s.degree(v) == 1)
+        return degree_one == 2

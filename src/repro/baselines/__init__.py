@@ -1,0 +1,15 @@
+"""Baseline systems the paper compares against, rebuilt from scratch."""
+
+from repro.baselines.arabesque import ArabesqueModel
+from repro.baselines.deltabigjoin import DeltaBigJoin
+from repro.baselines.fractal import FractalModel
+from repro.baselines.peregrine import Peregrine
+from repro.baselines.static_engine import PatternMatcher
+
+__all__ = [
+    "ArabesqueModel",
+    "DeltaBigJoin",
+    "FractalModel",
+    "Peregrine",
+    "PatternMatcher",
+]

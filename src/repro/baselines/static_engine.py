@@ -1,0 +1,161 @@
+"""Static pattern matching shared by the baseline systems and FSM re-mining.
+
+:class:`PatternMatcher` enumerates the embeddings of a fixed
+:class:`~repro.graph.pattern.Pattern` in a static graph by backtracking over
+pattern slots in a connected order, applying the pattern's symmetry-breaking
+partial order so each match (automorphism class) is produced exactly once.
+Vertex-induced and edge-induced (plain subgraph isomorphism) semantics are
+both supported.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.pattern import Pattern
+from repro.types import EdgeKey, MatchSubgraph, VertexId, edge_key
+
+
+class PatternMatcher:
+    """Backtracking matcher for one fixed pattern graph."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        induced: bool = True,
+        symmetry_breaking: bool = True,
+    ) -> None:
+        self.pattern = pattern
+        self.induced = induced
+        self.symmetry_breaking = symmetry_breaking
+        self.order = self._matching_order()
+        self.constraints = (
+            pattern.symmetry_breaking_order() if symmetry_breaking else []
+        )
+        # Per matching step, pattern neighbors already bound.
+        self._bound_nbrs: List[List[int]] = []
+        position = {slot: i for i, slot in enumerate(self.order)}
+        for i, slot in enumerate(self.order):
+            self._bound_nbrs.append(
+                [p for p in self.pattern.adjacency(slot) if position[p] < i]
+            )
+        self.embeddings_checked = 0
+
+    def _matching_order(self) -> List[int]:
+        """Connected matching order, highest-degree slot first."""
+        p = self.pattern
+        start = max(range(p.num_vertices), key=p.degree)
+        order = [start]
+        remaining = set(range(p.num_vertices)) - {start}
+        while remaining:
+            frontier = [
+                s
+                for s in remaining
+                if any(n in order for n in p.adjacency(s))
+            ]
+            nxt = max(frontier, key=lambda s: (p.degree(s), -s))
+            order.append(nxt)
+            remaining.remove(nxt)
+        return order
+
+    # -- enumeration -----------------------------------------------------
+
+    def embeddings(self, graph: AdjacencyGraph) -> Iterator[Dict[int, VertexId]]:
+        """Yield one slot->vertex assignment per distinct match."""
+        p = self.pattern
+        assignment: Dict[int, VertexId] = {}
+        used: Set[VertexId] = set()
+
+        def candidates(step: int) -> Iterator[VertexId]:
+            slot = self.order[step]
+            if step == 0:
+                return iter(sorted(graph.vertices()))
+            anchors = self._bound_nbrs[step]
+            pools = [graph.neighbors(assignment[a]) for a in anchors]
+            smallest = min(pools, key=len)
+            return iter(sorted(v for v in smallest if v not in used))
+
+        def extend(step: int) -> Iterator[Dict[int, VertexId]]:
+            if step == len(self.order):
+                yield dict(assignment)
+                return
+            slot = self.order[step]
+            wanted_label = p.labels[slot]
+            for v in candidates(step):
+                self.embeddings_checked += 1
+                if v in used:
+                    continue
+                if wanted_label is not None and graph.vertex_label(v) != wanted_label:
+                    continue
+                if not self._edges_ok(graph, assignment, slot, v):
+                    continue
+                assignment[slot] = v
+                used.add(v)
+                if self._constraints_ok(assignment):
+                    yield from extend(step + 1)
+                del assignment[slot]
+                used.discard(v)
+
+        yield from extend(0)
+
+    def _edges_ok(
+        self,
+        graph: AdjacencyGraph,
+        assignment: Dict[int, VertexId],
+        slot: int,
+        v: VertexId,
+    ) -> bool:
+        p = self.pattern
+        for other, u in assignment.items():
+            pattern_edge = other in p.adjacency(slot)
+            graph_edge = graph.has_edge(u, v)
+            if pattern_edge and not graph_edge:
+                return False
+            if self.induced and graph_edge and not pattern_edge:
+                return False
+        return True
+
+    def _constraints_ok(self, assignment: Dict[int, VertexId]) -> bool:
+        for a, b in self.constraints:
+            if a in assignment and b in assignment:
+                if not assignment[a] < assignment[b]:
+                    return False
+        return True
+
+    # -- convenience -----------------------------------------------------
+
+    def count(self, graph: AdjacencyGraph) -> int:
+        return sum(1 for _ in self.embeddings(graph))
+
+    def matches(self, graph: AdjacencyGraph) -> List[MatchSubgraph]:
+        """Materialized matches (vertices, edges, labels) per embedding."""
+        out = []
+        for emb in self.embeddings(graph):
+            verts = tuple(emb[slot] for slot in range(self.pattern.num_vertices))
+            if self.induced:
+                edges = frozenset(
+                    edge_key(u, v)
+                    for u, v in itertools.combinations(verts, 2)
+                    if graph.has_edge(u, v)
+                )
+            else:
+                edges = frozenset(
+                    edge_key(emb[i], emb[j]) for i, j in self.pattern.edges
+                )
+            out.append(
+                MatchSubgraph(
+                    vertices=verts,
+                    edges=edges,
+                    vertex_labels=tuple(graph.vertex_label(v) for v in verts),
+                )
+            )
+        return out
+
+
+def match_pattern(
+    graph: AdjacencyGraph, pattern: Pattern, induced: bool = True
+) -> List[MatchSubgraph]:
+    """One-shot enumeration of a pattern's matches in a static graph."""
+    return PatternMatcher(pattern, induced=induced).matches(graph)

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate``
+    Build a synthetic dataset stand-in and write it as an edge list.
+
+``mine``
+    Run a mining algorithm over an update stream (or a static edge list)
+    and print the match deltas and summary statistics.
+
+``motifs``
+    Print the motif census of a static graph.
+
+``datasets``
+    List the available dataset stand-ins.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.apps import (
+    CliqueMining,
+    CycleMining,
+    DiamondMining,
+    GraphKeywordSearch,
+    LabeledCliqueMining,
+    MotifCounting,
+    PathMining,
+    count_motifs,
+)
+from repro.graph.datasets import GKS_LABELS, dataset_names, dataset_spec, load_dataset
+from repro.graph.io import read_edge_list, read_update_stream, write_edge_list
+from repro.runtime.coordinator import TesseractSystem
+from repro.types import Update
+
+
+def _make_algorithm(spec: str):
+    """Parse an algorithm spec like ``4-C``, ``4-CL``, ``3-MC``, ``4-GKS-3``."""
+    parts = spec.upper().split("-")
+    try:
+        if len(parts) == 2 and parts[1] == "C":
+            return CliqueMining(int(parts[0]), min_size=3)
+        if len(parts) == 2 and parts[1] == "CL":
+            return LabeledCliqueMining(int(parts[0]), min_size=3)
+        if len(parts) == 2 and parts[1] == "MC":
+            return MotifCounting(int(parts[0]), min_size=3)
+        if len(parts) == 2 and parts[1] == "PATH":
+            return PathMining(int(parts[0]))
+        if len(parts) == 2 and parts[1] == "CYCLE":
+            return CycleMining(int(parts[0]))
+        if spec.upper() == "DIAMOND":
+            return DiamondMining()
+        if len(parts) == 3 and parts[1] == "GKS":
+            k, n = int(parts[0]), int(parts[2])
+            return GraphKeywordSearch(list(GKS_LABELS)[:n], k=k)
+    except ValueError:
+        pass
+    raise SystemExit(
+        f"unknown algorithm {spec!r}; try 4-C, 4-CL, 3-MC, 4-PATH, "
+        f"4-CYCLE, DIAMOND, or 4-GKS-3"
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Write a synthetic dataset stand-in as an edge-list file."""
+    graph = load_dataset(args.dataset, seed=args.seed, labeled=args.labeled)
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.dataset} ({graph.num_vertices()} vertices, "
+        f"{graph.num_edges()} edges) to {args.output}"
+    )
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    """Print the dataset stand-ins and their paper counterparts."""
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        print(
+            f"{name:<8} stands in for {spec.paper_name} "
+            f"({spec.paper_vertices} vertices / {spec.paper_edges} edges, "
+            f"{spec.domain})"
+        )
+    return 0
+
+
+def cmd_mine(args: argparse.Namespace) -> int:
+    """Mine an update stream and/or a static graph, printing deltas."""
+    algorithm = _make_algorithm(args.algorithm)
+    initial = read_edge_list(args.graph) if args.graph else None
+    system = TesseractSystem(
+        algorithm,
+        window_size=args.window,
+        num_workers=args.workers,
+        initial_graph=initial,
+    )
+    count = system.output_stream().count()
+    start = time.perf_counter()
+    if args.updates:
+        system.submit_many(read_update_stream(args.updates))
+    elif initial is None:
+        raise SystemExit("provide --updates, --graph, or both")
+    else:
+        # static mode: re-mine the provided graph as an addition stream
+        fresh = TesseractSystem(
+            algorithm, window_size=args.window, num_workers=args.workers
+        )
+        count = fresh.output_stream().count()
+        for v in sorted(initial.vertices()):
+            label = initial.vertex_label(v)
+            fresh.submit(Update.add_vertex(v, label))
+        fresh.submit_many(
+            Update.add_edge(u, v, initial.edge_label(u, v))
+            for u, v in initial.sorted_edges()
+        )
+        system = fresh
+    system.flush()
+    elapsed = time.perf_counter() - start
+    deltas = system.deltas()
+    if not args.quiet:
+        for delta in deltas:
+            vertices = ",".join(str(v) for v in sorted(delta.subgraph.vertices))
+            print(f"{delta.timestamp}\t{delta.status.value}\t{vertices}")
+    news = sum(1 for d in deltas if d.is_new())
+    print(
+        f"# {algorithm.name}: {news} NEW / {len(deltas) - news} REM, "
+        f"{count.value()} live matches, {elapsed:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Self-check: incremental mining == brute force on random graphs."""
+    import itertools
+    import random
+
+    from repro.core.engine import TesseractEngine, collect_matches
+    from repro.graph.adjacency import AdjacencyGraph
+    from repro.runtime.coordinator import TesseractSystem
+
+    rng = random.Random(args.seed)
+    failures = 0
+    for trial in range(args.trials):
+        n = rng.randint(5, 9)
+        possible = list(itertools.combinations(range(n), 2))
+        system = TesseractSystem(CliqueMining(4, min_size=3), window_size=rng.choice([1, 3, 5]))
+        present = set()
+        for _ in range(30):
+            e = rng.choice(possible)
+            if e in present and rng.random() < 0.4:
+                present.discard(e)
+                system.submit(Update.delete_edge(*e))
+            elif e not in present:
+                present.add(e)
+                system.submit(Update.add_edge(*e))
+        system.flush()
+        live = collect_matches(system.deltas())
+        final = AdjacencyGraph.from_edges(sorted(present))
+        for v in range(n):
+            final.add_vertex(v)
+        expected = collect_matches(
+            TesseractEngine.run_static(final, CliqueMining(4, min_size=3))
+        )
+        status = "ok" if live == expected else "MISMATCH"
+        failures += status != "ok"
+        if not args.quiet or status != "ok":
+            print(f"trial {trial:>3}: {len(present):>2} edges, "
+                  f"{len(live):>3} matches ... {status}")
+    print(f"{args.trials - failures}/{args.trials} trials exact")
+    return 1 if failures else 0
+
+
+def cmd_motifs(args: argparse.Namespace) -> int:
+    """Print the motif census of a static edge-list graph."""
+    graph = read_edge_list(args.graph)
+    from repro.core.engine import TesseractEngine
+
+    algorithm = MotifCounting(args.k, min_size=args.k)
+    deltas = TesseractEngine.run_static(graph, algorithm)
+    census = count_motifs(deltas)
+    for form, n in sorted(census.items(), key=lambda kv: (-kv[1], str(kv[0]))):
+        print(f"{n:>10}  {form}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (one sub-command per operation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tesseract reproduction: mine patterns on evolving graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset as an edge list")
+    p.add_argument("dataset", choices=list(dataset_names()))
+    p.add_argument("output")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--labeled", action="store_true", help="assign GKS labels")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("datasets", help="list dataset stand-ins")
+    p.set_defaults(func=cmd_datasets)
+
+    p = sub.add_parser("mine", help="mine an update stream or a static graph")
+    p.add_argument("algorithm", help="e.g. 4-C, 4-CL, 3-MC, 4-GKS-3, DIAMOND")
+    p.add_argument("--graph", help="edge-list file preloaded before updates")
+    p.add_argument("--updates", help="update-stream file to process")
+    p.add_argument("--window", type=int, default=100, help="updates per window")
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--quiet", action="store_true", help="suppress per-delta output")
+    p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser("motifs", help="motif census of a static edge list")
+    p.add_argument("graph")
+    p.add_argument("-k", type=int, default=3, help="motif size")
+    p.set_defaults(func=cmd_motifs)
+
+    p = sub.add_parser(
+        "verify", help="self-check incremental mining against brute force"
+    )
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Tesseract core: programming model, exploration, engine."""
+
+from repro.core.api import EdgeInduced, MiningAlgorithm, VertexInduced
+from repro.core.engine import TesseractEngine
+from repro.core.explore import Explorer
+from repro.core.metrics import Metrics
+from repro.core.stesseract import STesseractEngine
+
+__all__ = [
+    "EdgeInduced",
+    "MiningAlgorithm",
+    "VertexInduced",
+    "TesseractEngine",
+    "Explorer",
+    "Metrics",
+    "STesseractEngine",
+]

@@ -1,0 +1,162 @@
+"""The single-worker Tesseract engine.
+
+The engine wires the exploration algorithm to the multiversioned store: it
+takes windows of edge updates (from the ingress node or the work queue),
+builds the window's exploration view, runs EXPLORE for every update, and
+returns the resulting match deltas.  Because change detection and duplicate
+elimination make every update's task independent (section 4.5), the same
+engine code is what each distributed worker runs.
+
+The engine optionally records a :class:`~repro.types.TaskTrace` per update —
+the task's abstract work and the vertex records it fetched — which the
+cluster simulator replays to compute multi-machine schedules.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.api import MiningAlgorithm
+from repro.core.explore import Explorer
+from repro.core.metrics import Metrics
+from repro.graph.adjacency import AdjacencyGraph
+from repro.store.mvstore import MultiVersionStore
+from repro.store.snapshot import ExplorationView
+from repro.streaming.ingress import Window
+from repro.streaming.queue import WorkQueue
+from repro.types import (
+    EdgeUpdate,
+    MatchDelta,
+    TaskTrace,
+    Timestamp,
+    WindowStats,
+)
+
+
+class TesseractEngine:
+    """Runs update-based exploration for an algorithm over a store."""
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        algorithm: MiningAlgorithm,
+        metrics: Optional[Metrics] = None,
+        trace_tasks: bool = False,
+    ) -> None:
+        self.store = store
+        self.algorithm = algorithm
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.explorer = Explorer(algorithm, metrics=self.metrics)
+        self.trace_tasks = trace_tasks
+        self.traces: List[TaskTrace] = []
+        self.window_stats: List[WindowStats] = []
+
+    # -- single-update task (what one distributed worker executes) --------
+
+    def process_update(
+        self, ts: Timestamp, update: EdgeUpdate
+    ) -> List[MatchDelta]:
+        """Run the exploration task for one edge update."""
+        recorder = set() if self.trace_tasks else None
+        view = ExplorationView(self.store, ts, recorder=recorder)
+        before = self.metrics.work_units()
+        deltas = self.explorer.explore_update(view, update)
+        if self.trace_tasks:
+            self.traces.append(
+                TaskTrace(
+                    timestamp=ts,
+                    update=update,
+                    work=self.metrics.work_units() - before,
+                    touched_vertices=frozenset(recorder or ()),
+                    num_deltas=len(deltas),
+                )
+            )
+        return deltas
+
+    # -- window / stream processing -----------------------------------------
+
+    def process_window(self, window: Window) -> List[MatchDelta]:
+        """Process every update of one atomically applied window."""
+        start = time.perf_counter()
+        deltas: List[MatchDelta] = []
+        for update in window.updates:
+            deltas.extend(self.process_update(window.timestamp, update))
+        elapsed = time.perf_counter() - start
+        self.metrics.total_seconds += elapsed
+        self.window_stats.append(
+            WindowStats(
+                timestamp=window.timestamp,
+                num_updates=len(window.updates),
+                num_new=sum(1 for d in deltas if d.is_new()),
+                num_rem=sum(1 for d in deltas if d.is_rem()),
+                wall_seconds=elapsed,
+            )
+        )
+        return deltas
+
+    def process_windows(self, windows: Iterable[Window]) -> List[MatchDelta]:
+        deltas: List[MatchDelta] = []
+        for window in windows:
+            deltas.extend(self.process_window(window))
+        return deltas
+
+    def drain_queue(self, queue: WorkQueue) -> List[MatchDelta]:
+        """Pull, process, and ack every item currently in the work queue."""
+        start = time.perf_counter()
+        deltas: List[MatchDelta] = []
+        while True:
+            item = queue.poll()
+            if item is None:
+                break
+            deltas.extend(self.process_update(item.timestamp, item.update))
+            queue.ack(item.offset)
+        self.metrics.total_seconds += time.perf_counter() - start
+        return deltas
+
+    # -- static execution ------------------------------------------------
+
+    @classmethod
+    def run_static(
+        cls,
+        graph: AdjacencyGraph,
+        algorithm: MiningAlgorithm,
+        metrics: Optional[Metrics] = None,
+        trace_tasks: bool = False,
+    ) -> List[MatchDelta]:
+        """Mine a static graph by loading all edges as one addition window.
+
+        This is how the paper runs Tesseract on static inputs (section
+        6.2.1): every edge becomes an edge-addition update in a single
+        snapshot, and the emitted NEW deltas are exactly the match set.
+        """
+        store = MultiVersionStore.from_adjacency(graph, ts=1)
+        engine = cls(store, algorithm, metrics=metrics, trace_tasks=trace_tasks)
+        window = Window(
+            timestamp=1,
+            updates=[
+                EdgeUpdate(u, v, added=True, label=graph.edge_label(u, v))
+                for u, v in graph.sorted_edges()
+            ],
+        )
+        return engine.process_window(window)
+
+
+def collect_matches(deltas: Sequence[MatchDelta]) -> set:
+    """Apply a delta sequence, returning the identities of live matches.
+
+    Raises ``ValueError`` on inconsistent streams (NEW of a live match or
+    REM of a dead one) — the library's replay validator.
+    """
+    live: set = set()
+    for delta in deltas:
+        key = delta.subgraph.identity
+        if delta.is_new():
+            if key in live:
+                raise ValueError(f"duplicate NEW for match {key}")
+            live.add(key)
+        else:
+            if key not in live:
+                raise ValueError(f"REM for unknown match {key}")
+            live.remove(key)
+    return live

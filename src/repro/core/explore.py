@@ -1,0 +1,363 @@
+"""Update-based exploration: EXPLORE and DETECT_CHANGES (paper Algorithm 2).
+
+For each edge update the explorer recursively expands the subgraph rooted at
+the update, using depth-first expansion and backtracking.  At every expanded
+subgraph, differential processing evaluates both the pre-window and
+post-window versions (section 4.3): a pre version that is connected, passes
+``filter``, and passes ``match`` is a *removed* match (REM); a post version
+that does is a *new* match (NEW).  The continuation flags ``c_pre`` and
+``c_post`` carry anti-monotone pruning independently for the two versions.
+
+Both added and deleted edges are treated identically (the store's
+:class:`~repro.store.snapshot.ExplorationView` exposes the union of the two
+snapshots, so deletions' neighborhoods remain reachable).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.api import InducedMode, MiningAlgorithm
+from repro.core.canonicality import edge_expansion_pool, vertex_expansion
+from repro.core.metrics import Metrics, Stopwatch
+from repro.errors import BoundednessError
+from repro.graph.bitset import BitMatrix
+from repro.graph.subgraph import SubgraphView
+from repro.store.snapshot import ExplorationView
+from repro.types import EdgeUpdate, Label, MatchDelta, MatchStatus, VertexId
+
+
+class Explorer:
+    """Executes Algorithm 2 for single updates against an exploration view."""
+
+    def __init__(
+        self,
+        algorithm: MiningAlgorithm,
+        metrics: Optional[Metrics] = None,
+        hard_limit: int = 12,
+    ) -> None:
+        self.algorithm = algorithm
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.hard_limit = max(hard_limit, algorithm.max_size + 1)
+        # Per-exploration state (reset by explore_update).
+        self._view: ExplorationView = None  # type: ignore[assignment]
+        self._verts: List[VertexId] = []
+        self._labels_pre: List[Label] = []
+        self._labels_post: List[Label] = []
+        self._out: List[MatchDelta] = []
+        self._last_filter_passed = True
+        self._edge_label_pre = None
+        self._edge_label_post = None
+        self._direction_pre = None
+        self._direction_post = None
+
+    # -- entry point -----------------------------------------------------
+
+    def explore_update(
+        self, view: ExplorationView, update: EdgeUpdate
+    ) -> List[MatchDelta]:
+        """Compute all match-set changes rooted at one edge update."""
+        self._view = view
+        self._out = []
+        if self.algorithm.uses_edge_labels:
+            store, ts = view.store, view.ts
+            self._edge_label_pre = lambda a, b: store.edge_label_at(a, b, ts - 1)
+            self._edge_label_post = lambda a, b: store.edge_label_at(a, b, ts)
+        else:
+            self._edge_label_pre = self._edge_label_post = None
+        if self.algorithm.uses_directions:
+            store, ts = view.store, view.ts
+            self._direction_pre = lambda a, b: store.edge_direction_at(a, b, ts - 1)
+            self._direction_post = lambda a, b: store.edge_direction_at(a, b, ts)
+        else:
+            self._direction_pre = self._direction_post = None
+        u, v = update.u, update.v
+        self._verts = [u, v]
+        self._labels_pre = [view.vertex_label(u, pre=True), view.vertex_label(v, pre=True)]
+        self._labels_post = [view.vertex_label(u), view.vertex_label(v)]
+        if self.algorithm.induced is InducedMode.VERTEX:
+            self._explore_vertex_induced(update)
+        else:
+            self._explore_edge_induced(update)
+        return self._out
+
+    # -- vertex-induced mode ---------------------------------------------
+
+    def _explore_vertex_induced(self, update: EdgeUpdate) -> None:
+        view = self._view
+        pre = BitMatrix()
+        post = BitMatrix()
+        pre.append_row(0)
+        post.append_row(0)
+        pre.append_row(1 if view.alive_pre(update.u, update.v) else 0)
+        post.append_row(1 if view.alive_post(update.u, update.v) else 0)
+        c_pre, c_post = self._detect_changes(pre, post, True, True)
+        if c_pre or c_post:
+            self._explore_v(pre, post, update.key, c_pre, c_post)
+
+    def _explore_v(
+        self,
+        pre: BitMatrix,
+        post: BitMatrix,
+        start_key,
+        c_pre: bool,
+        c_post: bool,
+    ) -> None:
+        self.metrics.explore_calls += 1
+        verts = self._verts
+        if len(verts) >= self.hard_limit:
+            raise BoundednessError(
+                f"exploration reached {len(verts)} vertices; the algorithm's "
+                f"filter does not appear to be bounded"
+            )
+        view = self._view
+        candidates = self._candidate_bits()
+        timing = self.metrics.timing_enabled
+        for v in sorted(candidates):
+            pre_bits, post_bits = candidates[v]
+            self.metrics.can_expand_calls += 1
+            if timing:
+                with Stopwatch(self.metrics, "can_expand_seconds"):
+                    allowed = vertex_expansion(
+                        verts, start_key, v, pre_bits, post_bits
+                    )
+            else:
+                allowed = vertex_expansion(verts, start_key, v, pre_bits, post_bits)
+            if not allowed:
+                continue
+            self.metrics.expansions += 1
+            verts.append(v)
+            self._labels_pre.append(view.vertex_label(v, pre=True))
+            self._labels_post.append(view.vertex_label(v))
+            pre.append_row(pre_bits)
+            post.append_row(post_bits)
+            c_pre2, c_post2 = self._detect_changes(pre, post, c_pre, c_post)
+            if c_pre2 or c_post2:
+                self._explore_v(pre, post, start_key, c_pre2, c_post2)
+            pre.pop_row()
+            post.pop_row()
+            verts.pop()
+            self._labels_pre.pop()
+            self._labels_post.pop()
+
+    def _candidate_bits(self):
+        """Expansion candidates with their subgraph adjacency bitmasks.
+
+        Walks the fetched adjacency map of every subgraph vertex once and
+        accumulates, per outside neighbor, which slots it connects to in
+        the pre- and post-window snapshots.
+        """
+        view = self._view
+        verts = self._verts
+        members = set(verts)
+        candidates: dict = {}
+        for i, u in enumerate(verts):
+            bit = 1 << i
+            for n, (alive_pre, alive_post) in view.adjacency(u).items():
+                if n in members:
+                    continue
+                entry = candidates.get(n)
+                if entry is None:
+                    entry = candidates[n] = [0, 0]
+                if alive_pre:
+                    entry[0] |= bit
+                if alive_post:
+                    entry[1] |= bit
+        return candidates
+
+    def _detect_changes(
+        self, pre: BitMatrix, post: BitMatrix, c_pre: bool, c_post: bool
+    ):
+        """DETECT_CHANGES (Algorithm 2 lines 8-18) for vertex-induced mode."""
+        if c_pre:
+            s_pre = SubgraphView(
+                self._verts,
+                pre,
+                self._labels_pre,
+                self._edge_label_pre,
+                self._direction_pre,
+            )
+            if self._evaluate(s_pre, pre):
+                self._emit(MatchStatus.REM, s_pre)
+            elif not self._last_filter_passed:
+                c_pre = False
+        if c_post:
+            s_post = SubgraphView(
+                self._verts,
+                post,
+                self._labels_post,
+                self._edge_label_post,
+                self._direction_post,
+            )
+            if self._evaluate(s_post, post):
+                self._emit(MatchStatus.NEW, s_post)
+            elif not self._last_filter_passed:
+                c_post = False
+        return c_pre, c_post
+
+    def _evaluate(self, s: SubgraphView, matrix: BitMatrix) -> bool:
+        """filter -> connectivity -> match; returns whether ``s`` matched.
+
+        Sets ``_last_filter_passed`` so the caller can distinguish a failed
+        filter (stop exploring this version) from a mere non-match.
+        """
+        algorithm = self.algorithm
+        metrics = self.metrics
+        metrics.filter_calls += 1
+        if metrics.timing_enabled:
+            with Stopwatch(metrics, "filter_seconds"):
+                keep = algorithm.filter(s)
+        else:
+            keep = algorithm.filter(s)
+        self._last_filter_passed = keep
+        if not keep or not matrix.is_connected():
+            return False
+        metrics.match_calls += 1
+        if metrics.timing_enabled:
+            with Stopwatch(metrics, "match_seconds"):
+                return algorithm.match(s)
+        return algorithm.match(s)
+
+    def _emit(self, status: MatchStatus, s: SubgraphView) -> None:
+        self.metrics.emits += 1
+        self._out.append(
+            MatchDelta(timestamp=self._view.ts, status=status, subgraph=s.freeze())
+        )
+
+    # -- edge-induced mode -----------------------------------------------
+
+    def _explore_edge_induced(self, update: EdgeUpdate) -> None:
+        view = self._view
+        chosen = BitMatrix()
+        chosen.append_row(0)
+        chosen.append_row(1)  # the update edge is always part of the subgraph
+        alive_pre = view.alive_pre(update.u, update.v)
+        alive_post = view.alive_post(update.u, update.v)
+        missing_pre = 0 if alive_pre else 1
+        missing_post = 0 if alive_post else 1
+        c_pre, c_post = self._detect_changes_edge(chosen, missing_pre, missing_post, True, True)
+        if c_pre or c_post:
+            self._explore_e(chosen, update.key, missing_pre, missing_post, c_pre, c_post)
+
+    def _explore_e(
+        self,
+        chosen: BitMatrix,
+        start_key,
+        missing_pre: int,
+        missing_post: int,
+        c_pre: bool,
+        c_post: bool,
+    ) -> None:
+        self.metrics.explore_calls += 1
+        verts = self._verts
+        if len(verts) >= self.hard_limit:
+            raise BoundednessError(
+                f"exploration reached {len(verts)} vertices; the algorithm's "
+                f"filter does not appear to be bounded"
+            )
+        view = self._view
+        candidates = self._candidate_bits()
+        timing = self.metrics.timing_enabled
+        for v in sorted(candidates):
+            pre_bits, post_bits = candidates[v]
+            self.metrics.can_expand_calls += 1
+            if timing:
+                with Stopwatch(self.metrics, "can_expand_seconds"):
+                    pool = edge_expansion_pool(
+                        verts, start_key, v, pre_bits, post_bits
+                    )
+            else:
+                pool = edge_expansion_pool(verts, start_key, v, pre_bits, post_bits)
+            if pool is None:
+                continue
+            # One expansion per subset of the connecting edges, including the
+            # empty subset: a vertex may join now and become connected by a
+            # later vertex's edges (connectivity is checked at match time).
+            for subset in _subsets(pool):
+                bits = 0
+                add_missing_pre = 0
+                add_missing_post = 0
+                for slot, a_pre, a_post in subset:
+                    bits |= 1 << slot
+                    if not a_pre:
+                        add_missing_pre += 1
+                    if not a_post:
+                        add_missing_post += 1
+                self.metrics.expansions += 1
+                verts.append(v)
+                self._labels_pre.append(view.vertex_label(v, pre=True))
+                self._labels_post.append(view.vertex_label(v))
+                chosen.append_row(bits)
+                c_pre2, c_post2 = self._detect_changes_edge(
+                    chosen,
+                    missing_pre + add_missing_pre,
+                    missing_post + add_missing_post,
+                    c_pre,
+                    c_post,
+                )
+                if c_pre2 or c_post2:
+                    self._explore_e(
+                        chosen,
+                        start_key,
+                        missing_pre + add_missing_pre,
+                        missing_post + add_missing_post,
+                        c_pre2,
+                        c_post2,
+                    )
+                chosen.pop_row()
+                verts.pop()
+                self._labels_pre.pop()
+                self._labels_post.pop()
+
+    def _detect_changes_edge(
+        self,
+        chosen: BitMatrix,
+        missing_pre: int,
+        missing_post: int,
+        c_pre: bool,
+        c_post: bool,
+    ):
+        """DETECT_CHANGES for edge-induced mode.
+
+        An edge-induced subgraph version exists only when *all* chosen edges
+        are alive in that snapshot; a missing edge stays missing in every
+        extension, so the continuation flag drops permanently.
+        """
+        if c_pre:
+            if missing_pre:
+                c_pre = False
+            else:
+                s_pre = SubgraphView(
+                    self._verts,
+                    chosen,
+                    self._labels_pre,
+                    self._edge_label_pre,
+                    self._direction_pre,
+                )
+                if self._evaluate(s_pre, chosen):
+                    self._emit(MatchStatus.REM, s_pre)
+                elif not self._last_filter_passed:
+                    c_pre = False
+        if c_post:
+            if missing_post:
+                c_post = False
+            else:
+                s_post = SubgraphView(
+                    self._verts,
+                    chosen,
+                    self._labels_post,
+                    self._edge_label_post,
+                    self._direction_post,
+                )
+                if self._evaluate(s_post, chosen):
+                    self._emit(MatchStatus.NEW, s_post)
+                elif not self._last_filter_passed:
+                    c_post = False
+        return c_pre, c_post
+
+
+def _subsets(pool):
+    """All subsets of the connecting-edge pool, empty subset first."""
+    n = len(pool)
+    for mask in range(1 << n):
+        yield [pool[i] for i in range(n) if (mask >> i) & 1]

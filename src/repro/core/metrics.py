@@ -1,0 +1,107 @@
+"""Operation counters and timers for the mining engine.
+
+The paper's Figure 6 breaks runtime down into ``match``, ``filter``,
+``CAN_EXPAND``, and ``other``; this module records exactly those categories,
+plus the raw counters the cluster simulator uses as task work units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+
+@dataclass
+class Metrics:
+    """Counts and cumulative seconds per engine operation."""
+
+    filter_calls: int = 0
+    match_calls: int = 0
+    can_expand_calls: int = 0
+    expansions: int = 0
+    emits: int = 0
+    explore_calls: int = 0
+
+    filter_seconds: float = 0.0
+    match_seconds: float = 0.0
+    can_expand_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    timing_enabled: bool = False
+
+    def reset(self) -> None:
+        snapshot = Metrics(timing_enabled=self.timing_enabled)
+        self.__dict__.update(snapshot.__dict__)
+
+    # -- work accounting ---------------------------------------------------
+
+    def work_units(self) -> float:
+        """Abstract CPU cost of the recorded operations.
+
+        Used as the task cost by the cluster simulator; weights roughly
+        reflect the relative expense of each operation in the engine.
+        """
+        return (
+            1.0 * self.can_expand_calls
+            + 2.0 * self.filter_calls
+            + 2.0 * self.match_calls
+            + 3.0 * self.expansions
+            + 1.0 * self.emits
+        )
+
+    def merge(self, other: "Metrics") -> None:
+        """Accumulate another worker's counters and timers into this one."""
+        self.filter_calls += other.filter_calls
+        self.match_calls += other.match_calls
+        self.can_expand_calls += other.can_expand_calls
+        self.expansions += other.expansions
+        self.emits += other.emits
+        self.explore_calls += other.explore_calls
+        self.filter_seconds += other.filter_seconds
+        self.match_seconds += other.match_seconds
+        self.can_expand_seconds += other.can_expand_seconds
+        self.total_seconds += other.total_seconds
+
+    def breakdown(self) -> Dict[str, float]:
+        """The Figure 6 decomposition: match / filter / CAN_EXPAND / other."""
+        accounted = self.filter_seconds + self.match_seconds + self.can_expand_seconds
+        return {
+            "match": self.match_seconds,
+            "filter": self.filter_seconds,
+            "can_expand": self.can_expand_seconds,
+            "other": max(self.total_seconds - accounted, 0.0),
+        }
+
+    def snapshot(self) -> Tuple[int, int, int, int, int]:
+        """The five core counters as a tuple (cheap progress probe)."""
+        return (
+            self.filter_calls,
+            self.match_calls,
+            self.can_expand_calls,
+            self.expansions,
+            self.emits,
+        )
+
+
+class Stopwatch:
+    """Context helper adding elapsed time to a metrics field."""
+
+    __slots__ = ("metrics", "field_name", "_start")
+
+    def __init__(self, metrics: Metrics, field_name: str) -> None:
+        self.metrics = metrics
+        self.field_name = field_name
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(
+            self.metrics,
+            self.field_name,
+            getattr(self.metrics, self.field_name) + elapsed,
+        )

@@ -1,0 +1,172 @@
+"""STesseract: the static-optimized engine variant (paper section 6.5.3).
+
+To measure the overhead of supporting dynamic updates, the paper builds
+STesseract, "an optimized version of Tesseract designed to mine static
+graphs": it executes EXPLORE for each edge in the graph, performs no
+differential processing, uses no snapshots, and keeps only the update
+canonicality part of CAN_EXPAND.
+
+Concretely, this engine reads a plain :class:`AdjacencyGraph` directly (no
+multiversioned store, no pre/post evaluation, single adjacency bitset) and
+replaces the same-snapshot timestamp test with a pure edge comparison: an
+expansion may not traverse an edge lower than the start edge, which makes
+each match discoverable only from its minimal edge.  The emitted matches are
+identical to ``TesseractEngine.run_static``; only the machinery differs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.api import InducedMode, MiningAlgorithm
+from repro.core.metrics import Metrics, Stopwatch
+from repro.errors import BoundednessError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.bitset import BitMatrix
+from repro.graph.subgraph import SubgraphView
+from repro.types import (
+    EdgeKey,
+    Label,
+    MatchDelta,
+    MatchStatus,
+    MatchSubgraph,
+    VertexId,
+    edge_key,
+)
+
+
+class STesseractEngine:
+    """Static-only miner: one EXPLORE per edge, no differential processing."""
+
+    def __init__(
+        self,
+        algorithm: MiningAlgorithm,
+        metrics: Optional[Metrics] = None,
+        hard_limit: int = 12,
+    ) -> None:
+        if algorithm.induced is not InducedMode.VERTEX:
+            raise NotImplementedError(
+                "STesseract supports vertex-induced algorithms only"
+            )
+        self.algorithm = algorithm
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.hard_limit = max(hard_limit, algorithm.max_size + 1)
+        self._graph: AdjacencyGraph = None  # type: ignore[assignment]
+        self._verts: List[VertexId] = []
+        self._labels: List[Label] = []
+        self._out: List[MatchDelta] = []
+
+    def run(self, graph: AdjacencyGraph) -> List[MatchDelta]:
+        """Enumerate all matches of the static graph, once each."""
+        self._graph = graph
+        self._out = []
+        for u, v in graph.sorted_edges():
+            self._explore_root(u, v)
+        return self._out
+
+    # -- internals -------------------------------------------------------
+
+    def _explore_root(self, u: VertexId, v: VertexId) -> None:
+        graph = self._graph
+        self._verts = [u, v]
+        self._labels = [graph.vertex_label(u), graph.vertex_label(v)]
+        matrix = BitMatrix()
+        matrix.append_row(0)
+        matrix.append_row(1)
+        if self._detect(matrix):
+            self._explore(matrix, (u, v))
+
+    def _explore(self, matrix: BitMatrix, start_key: EdgeKey) -> None:
+        self.metrics.explore_calls += 1
+        verts = self._verts
+        if len(verts) >= self.hard_limit:
+            raise BoundednessError(
+                f"exploration reached {len(verts)} vertices; the algorithm's "
+                f"filter does not appear to be bounded"
+            )
+        graph = self._graph
+        members = set(verts)
+        candidates = sorted(
+            {n for w in verts for n in graph.neighbors(w)} - members
+        )
+        timing = self.metrics.timing_enabled
+        for v in candidates:
+            self.metrics.can_expand_calls += 1
+            if timing:
+                with Stopwatch(self.metrics, "can_expand_seconds"):
+                    bits = self._can_expand(v)
+            else:
+                bits = self._can_expand(v)
+            if bits is None:
+                continue
+            self.metrics.expansions += 1
+            verts.append(v)
+            self._labels.append(graph.vertex_label(v))
+            matrix.append_row(bits)
+            if self._detect(matrix):
+                self._explore(matrix, start_key)
+            matrix.pop_row()
+            verts.pop()
+            self._labels.pop()
+
+    def _can_expand(self, v: VertexId) -> Optional[int]:
+        """Update canonicality with a pure edge-order root rule.
+
+        Rejects expansions traversing an edge lower than the start edge
+        (each match is rooted at its minimal edge) and applies rule 2 of
+        update canonicality, i.e. lines 3-8 of Algorithm 3.
+        """
+        verts = self._verts
+        graph = self._graph
+        start_key = (verts[0], verts[1]) if verts[0] < verts[1] else (verts[1], verts[0])
+        bits = 0
+        nbrs = graph.neighbors(v)
+        for i, u in enumerate(verts):
+            if u in nbrs:
+                if edge_key(u, v) < start_key:
+                    return None
+                bits |= 1 << i
+        found = bool(bits & 0b11)
+        for idx in range(2, len(verts)):
+            u = verts[idx]
+            if not found and (bits >> idx) & 1:
+                found = True
+            elif found and u > v:
+                return None
+        return bits
+
+    def _detect(self, matrix: BitMatrix) -> bool:
+        """Filter/connectivity/match on the single (static) subgraph version."""
+        algorithm = self.algorithm
+        metrics = self.metrics
+        timing = metrics.timing_enabled
+        edge_label_fn = (
+            self._graph.edge_label if self.algorithm.uses_edge_labels else None
+        )
+        direction_fn = (
+            self._graph.edge_direction if self.algorithm.uses_directions else None
+        )
+        s = SubgraphView(
+            self._verts, matrix, self._labels, edge_label_fn, direction_fn
+        )
+        metrics.filter_calls += 1
+        if timing:
+            with Stopwatch(metrics, "filter_seconds"):
+                keep = algorithm.filter(s)
+        else:
+            keep = algorithm.filter(s)
+        if not keep:
+            return False
+        if matrix.is_connected():
+            metrics.match_calls += 1
+            if timing:
+                with Stopwatch(metrics, "match_seconds"):
+                    matched = algorithm.match(s)
+            else:
+                matched = algorithm.match(s)
+            if matched:
+                self.metrics.emits += 1
+                self._out.append(
+                    MatchDelta(timestamp=1, status=MatchStatus.NEW, subgraph=s.freeze())
+                )
+        return True

@@ -1,0 +1,140 @@
+"""Differential aggregators for the AGG operator (paper section 3.3).
+
+With an evolving graph, aggregation state must shrink when matches are
+removed as well as grow when they appear.  "Tesseract handles differential
+counting using the NEW and REM status emitted along with matches.
+Programmers must provide the appropriate differential semantics for custom
+aggregations" — an :class:`Aggregator` is exactly that contract: ``add`` for
+NEW records and ``remove`` for REM records.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generic, TypeVar
+
+from repro.errors import AggregationError
+
+V = TypeVar("V")
+S = TypeVar("S")
+
+
+class Aggregator(abc.ABC, Generic[V, S]):
+    """Differential aggregation contract: a commutative group action."""
+
+    @abc.abstractmethod
+    def zero(self) -> S:
+        """The empty aggregation state."""
+
+    @abc.abstractmethod
+    def add(self, state: S, value: V) -> S:
+        """Fold a NEW value into the state."""
+
+    @abc.abstractmethod
+    def remove(self, state: S, value: V) -> S:
+        """Retract a REM value from the state."""
+
+    def is_zero(self, state: S) -> bool:
+        """Whether the state carries no information (group is dropped)."""
+        return state == self.zero()
+
+
+class CountAggregator(Aggregator[Any, int]):
+    """COUNT: differential cardinality."""
+
+    def zero(self) -> int:
+        return 0
+
+    def add(self, state: int, value: Any) -> int:
+        return state + 1
+
+    def remove(self, state: int, value: Any) -> int:
+        if state <= 0:
+            raise AggregationError("count retracted below zero")
+        return state - 1
+
+
+class SumAggregator(Aggregator[Any, float]):
+    """Differential sum of ``key(value)``."""
+
+    def __init__(self, key=None) -> None:
+        self.key = key if key is not None else (lambda value: value)
+
+    def zero(self) -> float:
+        return 0
+
+    def add(self, state: float, value: Any) -> float:
+        return state + self.key(value)
+
+    def remove(self, state: float, value: Any) -> float:
+        return state - self.key(value)
+
+
+class MeanAggregator(Aggregator[Any, tuple]):
+    """Differential mean, kept as a (count, sum) pair."""
+
+    def __init__(self, key=None) -> None:
+        self.key = key if key is not None else (lambda value: value)
+
+    def zero(self) -> tuple:
+        return (0, 0)
+
+    def add(self, state: tuple, value: Any) -> tuple:
+        count, total = state
+        return (count + 1, total + self.key(value))
+
+    def remove(self, state: tuple, value: Any) -> tuple:
+        count, total = state
+        if count <= 0:
+            raise AggregationError("mean retracted below zero count")
+        return (count - 1, total - self.key(value))
+
+    @staticmethod
+    def value(state: tuple) -> float:
+        count, total = state
+        return total / count if count else 0.0
+
+
+class TopKAggregator(Aggregator[Any, tuple]):
+    """Differential top-K: tracks value multiplicities, reports the K largest.
+
+    State is a tuple-ized multiset ``((value, count), ...)``; retractions
+    decrement counts and drop zeroed values, so the reported top-K is
+    always exact (unlike sketch-based approaches, retractable because the
+    full multiset is kept — fine at aggregation-key granularity).
+    """
+
+    def __init__(self, k: int, key=None) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.key = key if key is not None else (lambda value: value)
+
+    def zero(self) -> tuple:
+        return ()
+
+    def _to_dict(self, state: tuple) -> dict:
+        return {value: count for value, count in state}
+
+    def add(self, state: tuple, value: Any) -> tuple:
+        bag = self._to_dict(state)
+        v = self.key(value)
+        bag[v] = bag.get(v, 0) + 1
+        return tuple(sorted(bag.items()))
+
+    def remove(self, state: tuple, value: Any) -> tuple:
+        bag = self._to_dict(state)
+        v = self.key(value)
+        if bag.get(v, 0) <= 0:
+            raise AggregationError(f"top-k retraction of absent value {v!r}")
+        bag[v] -= 1
+        if bag[v] == 0:
+            del bag[v]
+        return tuple(sorted(bag.items()))
+
+    def top(self, state: tuple):
+        """The K largest values currently in the multiset."""
+        expanded = []
+        for value, count in state:
+            expanded.extend([value] * count)
+        return sorted(expanded, reverse=True)[: self.k]

@@ -1,0 +1,52 @@
+"""Low watermarks for ordered output (paper sections 3.1, 5.4).
+
+Workers process windows concurrently and may emit deltas out of timestamp
+order.  A :class:`WatermarkTracker` observes which windows have fully
+completed and computes the low watermark: the highest timestamp T such that
+every window with timestamp <= T is done.  Ordered consumers (e.g. FSM)
+release buffered records only up to the watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import DataflowError
+from repro.types import Timestamp
+
+
+class WatermarkTracker:
+    """Tracks per-window completion and derives the low watermark."""
+
+    def __init__(self) -> None:
+        self._open: Set[Timestamp] = set()
+        self._completed: Set[Timestamp] = set()
+        self._highest_opened: Timestamp = 0
+
+    def open_window(self, ts: Timestamp) -> None:
+        """Declare that window ``ts`` exists and is being processed."""
+        if ts <= 0:
+            raise DataflowError("window timestamps start at 1")
+        if ts in self._completed:
+            raise DataflowError(f"window {ts} already completed")
+        self._open.add(ts)
+        self._highest_opened = max(self._highest_opened, ts)
+
+    def complete_window(self, ts: Timestamp) -> None:
+        if ts not in self._open:
+            raise DataflowError(f"window {ts} was never opened")
+        self._open.remove(ts)
+        self._completed.add(ts)
+
+    def watermark(self) -> Timestamp:
+        """Highest T with all opened windows <= T completed.
+
+        Windows that were never opened are assumed not to exist (the ingress
+        opens windows in timestamp order).
+        """
+        if not self._open:
+            return self._highest_opened
+        return min(self._open) - 1
+
+    def is_complete(self, ts: Timestamp) -> bool:
+        return ts <= self.watermark()

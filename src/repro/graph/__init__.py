@@ -1,0 +1,17 @@
+"""Graph data structures, canonical forms, generators, and datasets."""
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.bitset import BitMatrix
+from repro.graph.canonical import CanonicalForm, canonical_form, is_isomorphic
+from repro.graph.pattern import Pattern
+from repro.graph.subgraph import SubgraphView
+
+__all__ = [
+    "AdjacencyGraph",
+    "BitMatrix",
+    "CanonicalForm",
+    "canonical_form",
+    "is_isomorphic",
+    "Pattern",
+    "SubgraphView",
+]

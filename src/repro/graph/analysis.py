@@ -1,0 +1,107 @@
+"""Structural analysis utilities for graphs.
+
+Used by the dataset tests (verifying that the synthetic stand-ins have the
+degree-distribution *shape* their paper counterparts are known for) and by
+the examples to describe their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.types import VertexId
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Degree distribution statistics."""
+
+    num_vertices: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    #: max degree / mean degree — >> 1 indicates a heavy tail (hubs)
+    hub_ratio: float
+    #: Gini coefficient of the degree distribution in [0, 1)
+    gini: float
+
+
+def degree_summary(graph: AdjacencyGraph) -> DegreeSummary:
+    """Compute the degree-distribution statistics of ``graph``."""
+    degrees = sorted(graph.degree(v) for v in graph.vertices())
+    if not degrees:
+        return DegreeSummary(0, 0, 0, 0, 0.0, 0.0, 1.0, 0.0)
+    n = len(degrees)
+    total = sum(degrees)
+    mean = total / n
+    median = (
+        degrees[n // 2]
+        if n % 2
+        else (degrees[n // 2 - 1] + degrees[n // 2]) / 2
+    )
+    # Gini over the sorted degree sequence.
+    if total > 0:
+        weighted = sum((i + 1) * d for i, d in enumerate(degrees))
+        gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n
+    else:
+        gini = 0.0
+    return DegreeSummary(
+        num_vertices=n,
+        num_edges=graph.num_edges(),
+        min_degree=degrees[0],
+        max_degree=degrees[-1],
+        mean_degree=mean,
+        median_degree=median,
+        hub_ratio=degrees[-1] / mean if mean else 1.0,
+        gini=gini,
+    )
+
+
+def connected_components(graph: AdjacencyGraph) -> List[Set[VertexId]]:
+    """All connected components, largest first."""
+    seen: Set[VertexId] = set()
+    components: List[Set[VertexId]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        comp = {start}
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for n in graph.neighbors(v):
+                if n not in comp:
+                    comp.add(n)
+                    stack.append(n)
+        seen |= comp
+        components.append(comp)
+    return sorted(components, key=len, reverse=True)
+
+
+def clustering_coefficient(graph: AdjacencyGraph) -> float:
+    """Global clustering coefficient: 3 * triangles / open-or-closed wedges."""
+    triangles = 0
+    wedges = 0
+    for v in graph.vertices():
+        nbrs = sorted(graph.neighbors(v))
+        d = len(nbrs)
+        wedges += d * (d - 1) // 2
+        for i in range(d):
+            for j in range(i + 1, d):
+                if graph.has_edge(nbrs[i], nbrs[j]):
+                    triangles += 1
+    # each triangle counted once per corner = 3 times
+    return triangles / wedges if wedges else 0.0
+
+
+def degree_histogram(graph: AdjacencyGraph) -> Dict[int, int]:
+    """degree -> number of vertices with that degree."""
+    hist: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

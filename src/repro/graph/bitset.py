@@ -1,0 +1,185 @@
+"""Fixed-size bitset adjacency matrix for exploration subgraphs.
+
+The paper (section 5.6) stores the edges connecting vertices of a candidate
+subgraph in a bitset representing the subgraph's adjacency matrix, so that
+edge counting, degree computation, expansion, and backtracking are cheap
+bitwise operations.  Python integers are arbitrary-precision bitsets, which
+makes this representation natural: row ``i`` of the matrix is an int whose
+bit ``j`` is set iff vertices ``i`` and ``j`` are adjacent in the subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class BitMatrix:
+    """A small symmetric adjacency matrix over positional vertex slots.
+
+    Slots are positions in the exploration order (0, 1, 2, ...), not graph
+    vertex ids.  The matrix supports O(1) row append/pop, which is exactly
+    the expand/backtrack pattern of the EXPLORE algorithm.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows: List[int] | None = None) -> None:
+        self._rows = list(rows) if rows else []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterator[Tuple[int, int]]) -> "BitMatrix":
+        """Build an ``n``-slot matrix from (slot, slot) edge pairs."""
+        m = cls([0] * n)
+        for i, j in edges:
+            m.set_edge(i, j)
+        return m
+
+    def copy(self) -> "BitMatrix":
+        return BitMatrix(self._rows)
+
+    # -- size --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    # -- expansion / backtracking ------------------------------------------
+
+    def append_row(self, neighbor_bits: int) -> None:
+        """Add a new slot adjacent to the slots set in ``neighbor_bits``.
+
+        ``neighbor_bits`` may only reference existing slots.  This is the
+        EXPAND step: the new vertex's connections to the current subgraph.
+        """
+        n = len(self._rows)
+        if neighbor_bits >> n:
+            raise ValueError("neighbor_bits references slots beyond the matrix")
+        bit = 1 << n
+        for i in range(n):
+            if neighbor_bits & (1 << i):
+                self._rows[i] |= bit
+        self._rows.append(neighbor_bits)
+
+    def pop_row(self) -> None:
+        """Remove the most recently appended slot (the backtrack step)."""
+        if not self._rows:
+            raise IndexError("pop from empty BitMatrix")
+        n = len(self._rows) - 1
+        bit = 1 << n
+        self._rows.pop()
+        mask = ~bit
+        for i in range(n):
+            self._rows[i] &= mask
+
+    # -- edge accessors ------------------------------------------------------
+
+    def set_edge(self, i: int, j: int) -> None:
+        """Connect slots ``i`` and ``j`` (symmetric; self-loops rejected)."""
+        if i == j:
+            raise ValueError("self-loops are not representable")
+        self._check(i)
+        self._check(j)
+        self._rows[i] |= 1 << j
+        self._rows[j] |= 1 << i
+
+    def clear_edge(self, i: int, j: int) -> None:
+        self._check(i)
+        self._check(j)
+        self._rows[i] &= ~(1 << j)
+        self._rows[j] &= ~(1 << i)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        self._check(i)
+        self._check(j)
+        return bool(self._rows[i] >> j & 1)
+
+    def row(self, i: int) -> int:
+        self._check(i)
+        return self._rows[i]
+
+    def _check(self, i: int) -> None:
+        if not 0 <= i < len(self._rows):
+            raise IndexError(f"slot {i} out of range for {len(self._rows)} slots")
+
+    # -- bulk queries (bitwise, per the paper's optimization) ----------------
+
+    def degree(self, i: int) -> int:
+        """Degree of slot ``i`` within the subgraph (a popcount)."""
+        return self.row(i).bit_count()
+
+    def num_edges(self) -> int:
+        """Number of undirected edges (half the total popcount)."""
+        return sum(r.bit_count() for r in self._rows) // 2
+
+    def is_connected(self) -> bool:
+        """Whether the subgraph is connected, via bitwise frontier expansion."""
+        n = len(self._rows)
+        if n == 0:
+            return False
+        if n == 1:
+            return True
+        visited = 1  # slot 0
+        frontier = self._rows[0]
+        while frontier:
+            visited |= frontier
+            nxt = 0
+            f = frontier
+            while f:
+                low = f & -f
+                nxt |= self._rows[low.bit_length() - 1]
+                f ^= low
+            frontier = nxt & ~visited
+        return visited.bit_count() == n
+
+    def is_connected_without(self, i: int) -> bool:
+        """Whether the subgraph stays connected when slot ``i`` is removed.
+
+        Used by minimality checks such as graph keyword search (Algorithm 1
+        line 7: ``IS_CONNECTED(s \\ v)``).
+        """
+        n = len(self._rows)
+        self._check(i)
+        if n <= 1:
+            return False
+        if n == 2:
+            return True
+        excluded = 1 << i
+        start = 0 if i != 0 else 1
+        visited = 1 << start
+        frontier = self._rows[start] & ~excluded
+        while frontier:
+            visited |= frontier
+            nxt = 0
+            f = frontier
+            while f:
+                low = f & -f
+                nxt |= self._rows[low.bit_length() - 1]
+                f ^= low
+            frontier = nxt & ~(visited | excluded)
+        return visited.bit_count() == n - 1
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield undirected slot pairs (i, j) with i < j for each edge."""
+        for i, r in enumerate(self._rows):
+            bits = r >> (i + 1)
+            j = i + 1
+            while bits:
+                if bits & 1:
+                    yield (i, j)
+                bits >>= 1
+                j += 1
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._rows))
+
+    def __repr__(self) -> str:
+        n = len(self._rows)
+        return f"BitMatrix({n} slots, {self.num_edges()} edges)"

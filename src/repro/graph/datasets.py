@@ -1,0 +1,168 @@
+"""Scaled stand-ins for the paper's datasets (Table 3).
+
+The paper evaluates on LiveJournal (4.8M vertices / 68.9M edges), UK-2007
+(106M / 3.7B), and DC-2012 (3.5B / 128B).  A pure-Python reproduction cannot
+enumerate trillions of matches, so each dataset is replaced by a synthetic
+graph with the same *structural character* (degree-distribution shape and
+relative density), scaled down by the documented factor.  Benchmarks report
+ratios between systems, which is the quantity the paper's evaluation
+establishes; see DESIGN.md "Substitutions".
+
+====================  =====================  ==========================
+Paper dataset          Stand-in               Generator
+====================  =====================  ==========================
+LiveJournal (LJ)       ``lj-sim``             Barabási–Albert (social)
+UK-2007 (UK)           ``uk-sim``             RMAT (web hyperlinks)
+DC-2012 (DC)           ``dc-sim``             RMAT, larger/denser
+====================  =====================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.generators import assign_labels, barabasi_albert, rmat
+from repro.types import Label
+
+#: Labels used by graph keyword search benchmarks, per the paper's Figure 1.
+GKS_LABELS: Sequence[Label] = ("orange", "green", "blue")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one scaled dataset."""
+
+    name: str
+    paper_name: str
+    paper_vertices: str
+    paper_edges: str
+    domain: str
+    builder: Callable[[int], AdjacencyGraph]
+    default_seed: int = 7
+
+
+def _build_lj(seed: int) -> AdjacencyGraph:
+    # Social network: preferential attachment; heavy-tailed like LJ.
+    return barabasi_albert(num_vertices=800, edges_per_vertex=5, seed=seed)
+
+
+_WEB_PROBS = (0.45, 0.22, 0.22, 0.11)  # moderated RMAT skew
+
+
+def _build_uk(seed: int) -> AdjacencyGraph:
+    # Web graph: RMAT skew.
+    return rmat(scale=10, num_edges=5000, seed=seed, probabilities=_WEB_PROBS)
+
+
+def _build_dc(seed: int) -> AdjacencyGraph:
+    # Largest web graph: RMAT with more vertices and higher density.
+    return rmat(scale=11, num_edges=12000, seed=seed, probabilities=_WEB_PROBS)
+
+
+_SPECS: Dict[str, DatasetSpec] = {
+    "lj-sim": DatasetSpec(
+        name="lj-sim",
+        paper_name="LiveJournal (LJ)",
+        paper_vertices="4.8M",
+        paper_edges="68.9M",
+        domain="social network",
+        builder=_build_lj,
+    ),
+    "uk-sim": DatasetSpec(
+        name="uk-sim",
+        paper_name="UK-2007 (UK)",
+        paper_vertices="106M",
+        paper_edges="3.7B",
+        domain="web hyperlinks",
+        builder=_build_uk,
+    ),
+    "dc-sim": DatasetSpec(
+        name="dc-sim",
+        paper_name="DC-2012 (DC)",
+        paper_vertices="3.5B",
+        paper_edges="128B",
+        domain="web hyperlinks",
+        builder=_build_dc,
+    ),
+}
+
+
+def dataset_names() -> Sequence[str]:
+    return tuple(_SPECS)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a stand-in description by name (KeyError if unknown)."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(_SPECS)}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    seed: Optional[int] = None,
+    labeled: bool = False,
+    labels: Sequence[Label] = GKS_LABELS,
+    label_seed: int = 13,
+) -> AdjacencyGraph:
+    """Build a dataset stand-in.
+
+    With ``labeled=True``, 1/8th of the vertices receive a random label from
+    ``labels`` (the paper's GKS setup, section 6.1).
+    """
+    spec = dataset_spec(name)
+    graph = spec.builder(spec.default_seed if seed is None else seed)
+    if labeled:
+        assign_labels(graph, labels, fraction_labeled=1.0 / 8.0, seed=label_seed)
+    return graph
+
+
+def figure1_graph() -> AdjacencyGraph:
+    """The 8-vertex input graph of the paper's Figure 1 (BEFORE side).
+
+    Vertices 1..8 with labels 1=orange, 2=blue, 3=green, 6=orange, 7=green;
+    vertices 4, 5, 8 are white (unlabeled).  This reconstruction is derived
+    from every constraint the paper states: the 5-GKS-3 matches on the
+    BEFORE graph are exactly (1,2,3,4), (2,3,6,8), and (2,6,7,8) (section
+    2); the section 4.3 walk-through fixes edges (2,3), (3,4), (1,4) and the
+    absence of (1,2); and after applying :func:`figure1_updates` the match
+    set is exactly (1,2,3), (1,2,5,7), (2,3,6,8), and (2,5,6,7,8).
+    """
+    edges = [
+        (1, 4),
+        (3, 4),
+        (2, 3),
+        (2, 8),
+        (6, 8),
+        (6, 7),
+        (5, 7),
+    ]
+    labels: Dict[int, Label] = {
+        1: "orange",
+        2: "blue",
+        3: "green",
+        6: "orange",
+        7: "green",
+    }
+    g = AdjacencyGraph.from_edges(edges)
+    for v in range(1, 9):
+        g.add_vertex(v)
+    for v, lab in labels.items():
+        g.set_vertex_label(v, lab)
+    return g
+
+
+def figure1_updates():
+    """The three graph updates applied in Figure 1: +(1,2), +(2,5), -(6,7)."""
+    from repro.types import Update
+
+    return [
+        Update.add_edge(1, 2),
+        Update.add_edge(2, 5),
+        Update.delete_edge(6, 7),
+    ]

@@ -1,0 +1,228 @@
+"""Synthetic graph generators.
+
+The paper evaluates on LiveJournal (social network, heavy-tailed degrees),
+UK-2007, and DC-2012 (web hyperlink graphs).  Those datasets are far beyond
+pure-Python scale, so :mod:`repro.graph.datasets` builds scaled stand-ins
+using the generators here.  All generators are deterministic given a seed.
+
+Implemented from scratch (no networkx dependency in library code):
+
+* :func:`barabasi_albert` — preferential attachment; power-law degree tails
+  like a social network.
+* :func:`rmat` — recursive matrix (Kronecker-style) generator; skewed,
+  community-ish structure like web graphs.
+* :func:`erdos_renyi` — uniform random baseline.
+* :func:`planted_communities` — dense communities with sparse cross edges;
+  useful for keyword-search and FSM workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.types import Label, VertexId
+
+
+def barabasi_albert(
+    num_vertices: int, edges_per_vertex: int, seed: int = 0
+) -> AdjacencyGraph:
+    """Preferential-attachment graph with ``edges_per_vertex`` per new vertex."""
+    if num_vertices < 1 or edges_per_vertex < 1:
+        raise ValueError("num_vertices and edges_per_vertex must be positive")
+    rng = random.Random(seed)
+    g = AdjacencyGraph()
+    m = min(edges_per_vertex, max(1, num_vertices - 1))
+    # Seed clique of m+1 vertices so early targets exist.
+    core = min(m + 1, num_vertices)
+    for u in range(core):
+        g.add_vertex(u)
+        for w in range(u):
+            g.add_edge(u, w)
+    # Repeated-endpoints list implements preferential attachment in O(1).
+    endpoints: List[VertexId] = []
+    for u, v in g.edges():
+        endpoints.extend((u, v))
+    if not endpoints:
+        endpoints = [0]
+    for v in range(core, num_vertices):
+        targets: Set[VertexId] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(endpoints))
+        for t in targets:
+            g.add_edge(v, t)
+            endpoints.extend((v, t))
+    return g
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed: int = 0) -> AdjacencyGraph:
+    """Uniform random graph with exactly ``num_edges`` distinct edges."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError("num_edges exceeds the complete graph")
+    rng = random.Random(seed)
+    g = AdjacencyGraph()
+    for v in range(num_vertices):
+        g.add_vertex(v)
+    added = 0
+    while added < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def rmat(
+    scale: int,
+    num_edges: int,
+    seed: int = 0,
+    probabilities: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+) -> AdjacencyGraph:
+    """RMAT (recursive matrix) generator: 2**scale vertices, skewed degrees.
+
+    Web-hyperlink-like structure per the Graph500 parameterization.  Isolated
+    vertex ids are left out of the graph (only endpoint vertices exist).
+    """
+    a, b, c, d = probabilities
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise ValueError("probabilities must sum to 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    g = AdjacencyGraph()
+    attempts = 0
+    max_attempts = num_edges * 50
+    while g.num_edges() < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        span = n
+        while span > 1:
+            span >>= 1
+            r = rng.random()
+            if r < a:
+                pass
+            elif r < a + b:
+                v += span
+            elif r < a + b + c:
+                u += span
+            else:
+                u += span
+                v += span
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def planted_communities(
+    num_communities: int,
+    community_size: int,
+    intra_edges: int,
+    inter_edges: int,
+    seed: int = 0,
+) -> AdjacencyGraph:
+    """Dense communities with sparse random cross-community edges."""
+    rng = random.Random(seed)
+    g = AdjacencyGraph()
+    n = num_communities * community_size
+    for v in range(n):
+        g.add_vertex(v)
+    for comm in range(num_communities):
+        base = comm * community_size
+        members = list(range(base, base + community_size))
+        added = 0
+        cap = community_size * (community_size - 1) // 2
+        target = min(intra_edges, cap)
+        while added < target:
+            u, v = rng.sample(members, 2)
+            if g.add_edge(u, v):
+                added += 1
+    added = 0
+    while added < inter_edges:
+        cu, cv = rng.sample(range(num_communities), 2)
+        u = cu * community_size + rng.randrange(community_size)
+        v = cv * community_size + rng.randrange(community_size)
+        if g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def assign_labels(
+    graph: AdjacencyGraph,
+    labels: Sequence[Label],
+    fraction_labeled: float = 1.0 / 8.0,
+    seed: int = 0,
+) -> None:
+    """Randomly label ``fraction_labeled`` of vertices, uniform across labels.
+
+    Mirrors the paper's GKS setup (section 6.1): labels are assigned
+    uniformly so that 1/8th of the vertices are labeled; the rest get no
+    label (rendered white in Figure 1).
+    """
+    if not labels:
+        raise ValueError("labels must be non-empty")
+    if not 0.0 <= fraction_labeled <= 1.0:
+        raise ValueError("fraction_labeled must be in [0, 1]")
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    num_labeled = int(len(vertices) * fraction_labeled)
+    chosen = rng.sample(vertices, num_labeled) if num_labeled else []
+    for v in chosen:
+        graph.set_vertex_label(v, rng.choice(list(labels)))
+
+
+def shuffled_edges(
+    graph: AdjacencyGraph, seed: int = 0
+) -> List[Tuple[VertexId, VertexId]]:
+    """The graph's edges in a deterministic shuffled order.
+
+    The paper simulates a dynamic graph by loading and applying a shuffled
+    subset of a static graph's edges iteratively (section 6.1).
+    """
+    edges = sorted(graph.edges())
+    random.Random(seed).shuffle(edges)
+    return edges
+
+
+def churn_stream(
+    graph: AdjacencyGraph,
+    num_updates: int,
+    churn: float = 0.2,
+    seed: int = 0,
+):
+    """A realistic evolving-graph update stream with deletions.
+
+    Yields :class:`~repro.types.Update` objects: edges of ``graph`` are
+    added in shuffled order, and with probability ``churn`` an update
+    instead deletes a currently-present edge (which becomes eligible for
+    re-addition later).  The stream is deterministic given the seed and is
+    always *valid*: no duplicate adds, no deletes of absent edges.
+    """
+    from repro.types import Update
+
+    if not 0.0 <= churn < 1.0:
+        raise ValueError("churn must be in [0, 1)")
+    rng = random.Random(seed)
+    pool = sorted(graph.edges())
+    rng.shuffle(pool)
+    absent = list(pool)
+    present: List[Tuple[VertexId, VertexId]] = []
+    produced = 0
+    while produced < num_updates:
+        delete = present and rng.random() < churn
+        if delete:
+            index = rng.randrange(len(present))
+            edge = present.pop(index)
+            absent.append(edge)
+            yield Update.delete_edge(*edge)
+        elif absent:
+            edge = absent.pop()
+            present.append(edge)
+            yield Update.add_edge(*edge)
+        else:
+            # everything present and the coin said add: force a delete
+            index = rng.randrange(len(present))
+            edge = present.pop(index)
+            absent.append(edge)
+            yield Update.delete_edge(*edge)
+        produced += 1

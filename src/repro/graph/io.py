@@ -1,0 +1,149 @@
+"""Text formats for graphs and update streams.
+
+Two simple line formats, used by the CLI and the examples:
+
+**Edge list** (``.edges``) — one edge per line, optional labels and
+directions::
+
+    # comment
+    1 2
+    3 4 friend          # edge label
+    1 5 > friend        # arc 1 -> 5 with a label
+    5 6 <               # arc 6 -> 5
+    6 7 <>              # both directions
+    v 7 orange          # vertex label declaration
+
+**Update stream** (``.updates``) — one update per line::
+
+    a 1 2               # add edge, optional third field = edge label
+    d 1 2               # delete edge
+    av 7 orange         # add vertex (label optional)
+    dv 7                # delete vertex
+    lv 7 blue           # set vertex label
+    le 1 2 strong       # set edge label
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from repro.errors import InvalidUpdateError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.types import Update
+
+PathLike = Union[str, Path]
+
+
+def _lines(path: PathLike) -> Iterator[List[str]]:
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                yield line.split()
+
+
+_DIRECTION_TOKENS = {">": "fwd", "<": "rev", "<>": "both"}
+_DIRECTION_NAMES = {"fwd": ">", "rev": "<", "both": "<>"}
+
+
+def _split_direction(extras):
+    """Separate a direction token from label fields."""
+    direction = None
+    labels = []
+    for field in extras:
+        if field in _DIRECTION_TOKENS:
+            direction = _DIRECTION_TOKENS[field]
+        else:
+            labels.append(field)
+    return direction, (labels[0] if labels else None)
+
+
+def read_edge_list(path: PathLike) -> AdjacencyGraph:
+    """Load a graph from an edge-list file."""
+    graph = AdjacencyGraph()
+    for fields in _lines(path):
+        if fields[0] == "v":
+            if len(fields) < 2:
+                raise InvalidUpdateError(f"malformed vertex line: {fields}")
+            graph.add_vertex(int(fields[1]), label=fields[2] if len(fields) > 2 else None)
+        else:
+            if len(fields) < 2:
+                raise InvalidUpdateError(f"malformed edge line: {fields}")
+            u, v = int(fields[0]), int(fields[1])
+            direction, label = _split_direction(fields[2:])
+            graph.add_edge(u, v, label=label, direction=direction)
+    return graph
+
+
+def write_edge_list(graph: AdjacencyGraph, path: PathLike) -> None:
+    """Write a graph as an edge-list file (labels included)."""
+    with open(path, "w") as handle:
+        for v in sorted(graph.vertices()):
+            label = graph.vertex_label(v)
+            if label is not None:
+                handle.write(f"v {v} {label}\n")
+        for u, v in graph.sorted_edges():
+            parts = [str(u), str(v)]
+            direction = graph.edge_direction(u, v)
+            if direction is not None:
+                parts.append(_DIRECTION_NAMES[direction])
+            label = graph.edge_label(u, v)
+            if label is not None:
+                parts.append(label)
+            handle.write(" ".join(parts) + "\n")
+
+
+def _parse_add(fields):
+    direction, label = _split_direction(fields[3:])
+    return Update.add_edge(int(fields[1]), int(fields[2]), label, direction)
+
+
+_UPDATE_PARSERS = {
+    "a": _parse_add,
+    "d": lambda f: Update.delete_edge(int(f[1]), int(f[2])),
+    "av": lambda f: Update.add_vertex(int(f[1]), f[2] if len(f) > 2 else None),
+    "dv": lambda f: Update.delete_vertex(int(f[1])),
+    "lv": lambda f: Update.set_vertex_label(int(f[1]), f[2]),
+    "le": lambda f: Update.set_edge_label(int(f[1]), int(f[2]), f[3]),
+}
+
+
+def read_update_stream(path: PathLike) -> Iterator[Update]:
+    """Yield updates from an update-stream file, in file order."""
+    for fields in _lines(path):
+        parser = _UPDATE_PARSERS.get(fields[0])
+        if parser is None:
+            raise InvalidUpdateError(f"unknown update kind {fields[0]!r}")
+        try:
+            yield parser(fields)
+        except (IndexError, ValueError) as exc:
+            raise InvalidUpdateError(f"malformed update line: {fields}") from exc
+
+
+def write_update_stream(updates: Iterable[Update], path: PathLike) -> None:
+    """Write updates to an update-stream file."""
+    from repro.types import UpdateKind
+
+    with open(path, "w") as handle:
+        for u in updates:
+            if u.kind is UpdateKind.ADD_EDGE:
+                parts = ["a", str(u.src), str(u.dst)]
+                if u.direction is not None:
+                    parts.append(_DIRECTION_NAMES[u.direction])
+                if u.label is not None:
+                    parts.append(u.label)
+                handle.write(" ".join(parts) + "\n")
+            elif u.kind is UpdateKind.DELETE_EDGE:
+                handle.write(f"d {u.src} {u.dst}\n")
+            elif u.kind is UpdateKind.ADD_VERTEX:
+                suffix = f" {u.label}" if u.label is not None else ""
+                handle.write(f"av {u.src}{suffix}\n")
+            elif u.kind is UpdateKind.DELETE_VERTEX:
+                handle.write(f"dv {u.src}\n")
+            elif u.kind is UpdateKind.SET_VERTEX_LABEL:
+                handle.write(f"lv {u.src} {u.label}\n")
+            elif u.kind is UpdateKind.SET_EDGE_LABEL:
+                handle.write(f"le {u.src} {u.dst} {u.label}\n")
+            else:  # pragma: no cover - enum is closed
+                raise InvalidUpdateError(f"unknown update kind {u.kind!r}")

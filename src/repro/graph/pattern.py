@@ -1,0 +1,175 @@
+"""Fixed pattern graphs for subgraph-query baselines.
+
+Tesseract expresses patterns as arbitrary ``filter``/``match`` code, but the
+systems it is compared against (Delta-BigJoin, Peregrine) match *fixed*
+pattern graphs.  A :class:`Pattern` is a small connected graph over slots
+``0..k-1`` with optional slot labels; it also computes its automorphisms and
+the symmetry-breaking partial order that pattern-aware matchers (Peregrine
+[34]) use to enumerate each match exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PatternError
+from repro.graph.canonical import CanonicalForm, SlotEdge, canonical_form
+from repro.types import Label
+
+
+class Pattern:
+    """A fixed connected pattern graph over slots 0..k-1."""
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Sequence[SlotEdge],
+        labels: Optional[Sequence[Label]] = None,
+    ) -> None:
+        if num_vertices <= 0:
+            raise PatternError("pattern must have at least one vertex")
+        self.num_vertices = num_vertices
+        norm = sorted({(i, j) if i < j else (j, i) for i, j in edges})
+        for i, j in norm:
+            if i == j or not (0 <= i < num_vertices and 0 <= j < num_vertices):
+                raise PatternError(f"invalid pattern edge ({i}, {j})")
+        self.edges: Tuple[SlotEdge, ...] = tuple(norm)
+        self.labels: Tuple[Label, ...] = (
+            tuple(labels)
+            if labels is not None
+            else tuple(None for _ in range(num_vertices))
+        )
+        if len(self.labels) != num_vertices:
+            raise PatternError("labels must align with num_vertices")
+        self._adj: List[Set[int]] = [set() for _ in range(num_vertices)]
+        for i, j in self.edges:
+            self._adj[i].add(j)
+            self._adj[j].add(i)
+        if num_vertices > 1 and not self._connected():
+            raise PatternError("pattern must be connected")
+
+    def _connected(self) -> bool:
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for u in self._adj[v]:
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        return len(seen) == self.num_vertices
+
+    # -- structure ---------------------------------------------------------
+
+    def adjacency(self, slot: int) -> FrozenSet[int]:
+        return frozenset(self._adj[slot])
+
+    def degree(self, slot: int) -> int:
+        return len(self._adj[slot])
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def canonical(self) -> CanonicalForm:
+        return canonical_form(self.num_vertices, self.edges, self.labels)
+
+    def is_labeled(self) -> bool:
+        return any(x is not None for x in self.labels)
+
+    # -- symmetry ------------------------------------------------------------
+
+    def automorphisms(self) -> List[Tuple[int, ...]]:
+        """All label-respecting automorphisms (as slot permutations)."""
+        result = []
+        edge_set = set(self.edges)
+        degs = [self.degree(v) for v in range(self.num_vertices)]
+        for perm in itertools.permutations(range(self.num_vertices)):
+            if any(degs[v] != degs[perm[v]] for v in range(self.num_vertices)):
+                continue
+            if any(self.labels[v] != self.labels[perm[v]] for v in range(self.num_vertices)):
+                continue
+            ok = all(
+                ((perm[i], perm[j]) if perm[i] < perm[j] else (perm[j], perm[i]))
+                in edge_set
+                for i, j in self.edges
+            )
+            if ok:
+                result.append(perm)
+        return result
+
+    def symmetry_breaking_order(self) -> List[Tuple[int, int]]:
+        """Partial-order constraints (a < b) that kill all automorphisms.
+
+        This is the classic symmetry-breaking construction used by
+        pattern-aware matchers: repeatedly pick a slot moved by a non-trivial
+        automorphism, constrain it to be minimal in its orbit, and restrict
+        the automorphism group to its stabilizer.  Matching under these
+        constraints enumerates exactly one representative per automorphism
+        class.
+        """
+        constraints: List[Tuple[int, int]] = []
+        autos = self.automorphisms()
+        while len(autos) > 1:
+            moved = min(
+                v
+                for v in range(self.num_vertices)
+                if any(p[v] != v for p in autos)
+            )
+            orbit = sorted({p[moved] for p in autos})
+            for other in orbit:
+                if other != moved:
+                    constraints.append((moved, other))
+            autos = [p for p in autos if p[moved] == moved]
+        return constraints
+
+    # -- common shapes -------------------------------------------------------
+
+    @staticmethod
+    def clique(k: int, labels: Optional[Sequence[Label]] = None) -> "Pattern":
+        return Pattern(k, list(itertools.combinations(range(k), 2)), labels)
+
+    @staticmethod
+    def path(k: int) -> "Pattern":
+        return Pattern(k, [(i, i + 1) for i in range(k - 1)])
+
+    @staticmethod
+    def cycle(k: int) -> "Pattern":
+        if k < 3:
+            raise PatternError("cycle requires k >= 3")
+        return Pattern(k, [(i, (i + 1) % k) for i in range(k)])
+
+    @staticmethod
+    def star(k: int) -> "Pattern":
+        """A star with one hub and k-1 spokes (k vertices total)."""
+        if k < 2:
+            raise PatternError("star requires k >= 2")
+        return Pattern(k, [(0, i) for i in range(1, k)])
+
+    @staticmethod
+    def from_canonical(form: CanonicalForm) -> "Pattern":
+        return Pattern(form.num_vertices, form.edges, form.labels)
+
+    @staticmethod
+    def all_motifs(k: int) -> List["Pattern"]:
+        """One pattern per connected unlabeled motif on exactly k vertices."""
+        from repro.graph.canonical import connected_motifs
+
+        return [Pattern.from_canonical(f) for f in connected_motifs(k)]
+
+    # -- dunder --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        return (
+            f"Pattern(n={self.num_vertices}, edges={list(self.edges)}"
+            + (f", labels={list(self.labels)}" if self.is_labeled() else "")
+            + ")"
+        )

@@ -1,0 +1,199 @@
+"""The subgraph view handed to user ``filter`` and ``match`` functions.
+
+A :class:`SubgraphView` pairs the list of graph vertex ids in exploration
+order with a :class:`~repro.graph.bitset.BitMatrix` describing the edges
+among them, plus the vertex labels at the relevant graph version.  During
+differential processing the engine builds two views over the same vertex
+list — one with the pre-update edges and one with the post-update edges
+(paper section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.graph.bitset import BitMatrix
+from repro.types import EdgeKey, Label, MatchSubgraph, VertexId, edge_key
+
+
+class SubgraphView:
+    """Read-only view of a candidate subgraph.
+
+    The view exposes exactly the helpers used by the paper's example
+    algorithms (Algorithm 1): ``len()``, ``num_edges()``, per-label counting,
+    connectivity, and minimality checks — all backed by bitwise operations
+    on the adjacency bitset (paper section 5.6).
+    """
+
+    __slots__ = (
+        "_vertices",
+        "_matrix",
+        "_labels",
+        "_slot_of",
+        "_edge_label_fn",
+        "_direction_fn",
+    )
+
+    def __init__(
+        self,
+        vertices: List[VertexId],
+        matrix: BitMatrix,
+        labels: Optional[List[Label]] = None,
+        edge_label_fn=None,
+        direction_fn=None,
+    ) -> None:
+        if len(matrix) != len(vertices):
+            raise ValueError("matrix size must match vertex count")
+        self._vertices = vertices
+        self._matrix = matrix
+        self._labels = labels
+        self._slot_of: Optional[Dict[VertexId, int]] = None
+        #: optional resolver ``(u, v) -> label`` for edge labels at the
+        #: subgraph's graph version; None when the algorithm does not use
+        #: edge labels (resolution is lazy to keep the common path cheap)
+        self._edge_label_fn = edge_label_fn
+        #: optional resolver ``(u, v) -> normalized direction``
+        self._direction_fn = direction_fn
+
+    # -- size / structure --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    def num_edges(self) -> int:
+        return self._matrix.num_edges()
+
+    def vertices(self) -> Tuple[VertexId, ...]:
+        return tuple(self._vertices)
+
+    def __iter__(self) -> Iterator[VertexId]:
+        return iter(self._vertices)
+
+    def __contains__(self, v: VertexId) -> bool:
+        return v in self._vertices
+
+    def _slot(self, v: VertexId) -> int:
+        if self._slot_of is None:
+            self._slot_of = {u: i for i, u in enumerate(self._vertices)}
+        return self._slot_of[v]
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        return self._matrix.has_edge(self._slot(u), self._slot(v))
+
+    def degree(self, v: VertexId) -> int:
+        """Degree of ``v`` counting only edges inside the subgraph."""
+        return self._matrix.degree(self._slot(v))
+
+    def edges(self) -> Iterator[EdgeKey]:
+        for i, j in self._matrix.edges():
+            yield edge_key(self._vertices[i], self._vertices[j])
+
+    def edge_set(self) -> FrozenSet[EdgeKey]:
+        return frozenset(self.edges())
+
+    # -- labels --------------------------------------------------------------
+
+    def label_of(self, v: VertexId) -> Label:
+        if self._labels is None:
+            return None
+        return self._labels[self._slot(v)]
+
+    def labels(self) -> Tuple[Label, ...]:
+        if self._labels is None:
+            return tuple(None for _ in self._vertices)
+        return tuple(self._labels)
+
+    def count_label(self, label: Label) -> int:
+        """Number of vertices carrying ``label`` (Algorithm 1's num_<color>)."""
+        if self._labels is None:
+            return 0
+        return sum(1 for x in self._labels if x == label)
+
+    # -- edge labels -------------------------------------------------------
+
+    def edge_label(self, u: VertexId, v: VertexId) -> Label:
+        """Label of edge {u, v} in this subgraph's graph version.
+
+        Requires the algorithm to set ``uses_edge_labels = True`` so the
+        engine attaches a resolver; raises otherwise.
+        """
+        if self._edge_label_fn is None:
+            raise ValueError(
+                "edge labels are not loaded; set uses_edge_labels = True "
+                "on the algorithm"
+            )
+        if not self.has_edge(u, v):
+            return None
+        return self._edge_label_fn(u, v)
+
+    def count_edge_label(self, label: Label) -> int:
+        """Number of subgraph edges carrying ``label``."""
+        return sum(1 for u, v in self.edges() if self.edge_label(u, v) == label)
+
+    # -- directions --------------------------------------------------------
+
+    def has_directed_edge(self, u: VertexId, v: VertexId) -> bool:
+        """Whether the arc u -> v is in the subgraph.
+
+        Undirected edges count in both directions.  Requires the algorithm
+        to set ``uses_directions = True``.
+        """
+        if self._direction_fn is None:
+            raise ValueError(
+                "directions are not loaded; set uses_directions = True "
+                "on the algorithm"
+            )
+        if not self.has_edge(u, v):
+            return False
+        direction = self._direction_fn(u, v)
+        if direction is None or direction == "both":
+            return True
+        wanted = "fwd" if u <= v else "rev"
+        return direction == wanted
+
+    def out_degree(self, v: VertexId) -> int:
+        """Number of subgraph arcs leaving ``v`` (undirected count too)."""
+        count = 0
+        for i, u in enumerate(self._vertices):
+            if u != v and self.has_edge(v, u) and self.has_directed_edge(v, u):
+                count += 1
+        return count
+
+    def in_degree(self, v: VertexId) -> int:
+        """Number of subgraph arcs entering ``v`` (undirected count too)."""
+        count = 0
+        for u in self._vertices:
+            if u != v and self.has_edge(u, v) and self.has_directed_edge(u, v):
+                count += 1
+        return count
+
+    # -- connectivity ----------------------------------------------------
+
+    def is_connected(self) -> bool:
+        return self._matrix.is_connected()
+
+    def is_connected_without(self, v: VertexId) -> bool:
+        """Connectivity of the subgraph with ``v`` removed (minimality checks)."""
+        return self._matrix.is_connected_without(self._slot(v))
+
+    # -- conversion --------------------------------------------------------
+
+    def freeze(self) -> MatchSubgraph:
+        """Materialize an immutable :class:`MatchSubgraph` for emission."""
+        edge_labels = ()
+        if self._edge_label_fn is not None:
+            edge_labels = tuple(
+                sorted(((u, v), self._edge_label_fn(u, v)) for u, v in self.edges())
+            )
+        return MatchSubgraph(
+            vertices=tuple(self._vertices),
+            edges=self.edge_set(),
+            vertex_labels=self.labels(),
+            edge_labels=edge_labels,
+        )
+
+    def __repr__(self) -> str:
+        return f"SubgraphView({self._vertices}, {self.num_edges()} edges)"

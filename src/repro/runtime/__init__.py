@@ -1,0 +1,29 @@
+"""Distributed execution runtime: workers, scheduling, cluster simulation."""
+
+from repro.runtime.cluster import ClusterSpec, SimResult
+from repro.runtime.coordinator import TesseractSystem
+from repro.runtime.costmodel import ClusterSimulator
+from repro.runtime.distributed import DeploymentResult, SimulatedDeployment
+from repro.runtime.driver import StreamDriver
+from repro.runtime.fault import CrashPlan, FaultInjector
+from repro.runtime.parallel import MultiprocessRunner
+from repro.runtime.scheduler import DynamicScheduler, StaticPartitionScheduler
+from repro.runtime.stats import SystemStats
+from repro.runtime.worker import WorkerPool
+
+__all__ = [
+    "ClusterSpec",
+    "SimResult",
+    "TesseractSystem",
+    "ClusterSimulator",
+    "DeploymentResult",
+    "SimulatedDeployment",
+    "StreamDriver",
+    "CrashPlan",
+    "FaultInjector",
+    "MultiprocessRunner",
+    "DynamicScheduler",
+    "StaticPartitionScheduler",
+    "SystemStats",
+    "WorkerPool",
+]

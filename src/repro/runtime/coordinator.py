@@ -1,0 +1,173 @@
+"""End-to-end system wiring — the architecture of the paper's Figure 2.
+
+:class:`TesseractSystem` assembles all components: data sources submit
+updates to the **ingress node**, which applies them to the **sharded,
+multiversioned graph store** and enqueues them in the **work queue**;
+**distributed workers** explore each update and publish match deltas to the
+**pub/sub system**; subscribers run **output processing and aggregation**
+pipelines over the delta stream.
+
+Usage::
+
+    system = TesseractSystem(CliqueMining(4), window_size=100, num_workers=4)
+    counts = system.output_stream().count()
+    system.submit_many(Update.add_edge(u, v) for u, v in edges)
+    system.flush()                 # apply windows + run workers + dispatch
+    counts.value()                 # live mining result
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.api import MiningAlgorithm
+from repro.core.metrics import Metrics
+from repro.dataflow.stream import Stream
+from repro.dataflow.watermark import WatermarkTracker
+from repro.graph.adjacency import AdjacencyGraph
+from repro.runtime.fault import FaultInjector
+from repro.runtime.worker import WorkerPool
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.ingress import IngressNode
+from repro.streaming.pubsub import PubSub, Subscription, Topic
+from repro.streaming.queue import WorkQueue
+from repro.types import MatchDelta, Timestamp, Update
+
+
+class TesseractSystem:
+    """The complete Tesseract deployment in one object."""
+
+    def __init__(
+        self,
+        algorithm: MiningAlgorithm,
+        window_size: int = 100,
+        num_workers: int = 1,
+        num_shards: int = 8,
+        threaded: bool = False,
+        fault_injector: Optional[FaultInjector] = None,
+        gc_enabled: bool = False,
+        initial_graph: Optional[AdjacencyGraph] = None,
+        store: Optional[MultiVersionStore] = None,
+        trace_tasks: bool = False,
+    ) -> None:
+        self.algorithm = algorithm
+        self.threaded = threaded
+        if store is not None:
+            if initial_graph is not None:
+                raise ValueError("pass either initial_graph or store, not both")
+            self.store = store
+        elif initial_graph is not None:
+            self.store = MultiVersionStore.from_adjacency(
+                initial_graph, ts=1, num_shards=num_shards
+            )
+        else:
+            self.store = MultiVersionStore(num_shards=num_shards)
+        self.queue = WorkQueue()
+        self.ingress = IngressNode(
+            self.store, self.queue, window_size=window_size, gc_enabled=gc_enabled
+        )
+        self.pubsub = PubSub()
+        ordered = algorithm.ordered_output
+        self.topic: Topic = self.pubsub.topic("matches", ordered=ordered)
+        self.watermarks = WatermarkTracker()
+        self.pool = WorkerPool(
+            self.store,
+            algorithm,
+            self.queue,
+            self.topic,
+            num_workers=num_workers,
+            fault_injector=fault_injector,
+            trace_tasks=trace_tasks,
+        )
+        self._streams: List[Stream] = []
+        self._dispatch_cursor: Optional[Subscription] = None
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, algorithm: MiningAlgorithm, **kwargs
+    ) -> "TesseractSystem":
+        """Recover a deployment from a store checkpoint (paper §5.5).
+
+        The restored system resumes timestamping where the checkpoint left
+        off; replay any work-queue tail separately if updates were queued
+        but unprocessed at crash time.
+        """
+        from repro.store.checkpoint import restore_store
+
+        return cls(algorithm, store=restore_store(path), **kwargs)
+
+    # -- input side ------------------------------------------------------
+
+    def submit(self, update: Update) -> None:
+        self.ingress.submit(update)
+
+    def submit_many(self, updates: Iterable[Update]) -> None:
+        self.ingress.submit_many(updates)
+
+    def flush(self) -> None:
+        """Close open windows, run workers to drain the queue, dispatch output."""
+        self.ingress.flush()
+        self.run_workers()
+
+    def run_workers(self) -> None:
+        """Process everything currently in the work queue."""
+        if self.threaded:
+            self.pool.run_threaded()
+        else:
+            self.pool.run_serial()
+        # The queue's low watermark guarantees every update at or below it
+        # has been emitted; release ordered output up to that point.
+        self.topic.advance_watermark(self.queue.low_watermark())
+        self._dispatch()
+
+    # -- output side -----------------------------------------------------
+
+    def subscribe(self) -> Subscription:
+        """Raw subscription to the match-delta topic."""
+        return self.topic.subscribe()
+
+    def output_stream(self) -> Stream:
+        """A dataflow source fed automatically after each flush."""
+        stream = Stream.source()
+        self._streams.append(stream)
+        if self._dispatch_cursor is None:
+            self._dispatch_cursor = self.topic.subscribe()
+        return stream
+
+    def _dispatch(self) -> None:
+        if self._dispatch_cursor is None:
+            return
+        batch: List[MatchDelta] = self._dispatch_cursor.drain()
+        for stream in self._streams:
+            stream.push_deltas(batch)
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self, ts: Optional[Timestamp] = None) -> AdjacencyGraph:
+        """Materialize the graph as of ``ts`` (default: latest)."""
+        return self.store.as_adjacency(
+            self.store.latest_timestamp if ts is None else ts
+        )
+
+    def metrics(self) -> Metrics:
+        return self.pool.merged_metrics()
+
+    def stats(self):
+        """Aggregate system statistics (see :mod:`repro.runtime.stats`)."""
+        from repro.runtime.stats import SystemStats
+
+        return SystemStats.collect(self)
+
+    def deltas(self, by_timestamp: bool = False) -> List[MatchDelta]:
+        """All deltas published so far (visible records only).
+
+        Topic order equals timestamp order for serial workers and for
+        ordered topics; threaded workers publish to an *unordered* topic as
+        they finish, so windows interleave — pass ``by_timestamp=True``
+        (stable sort) before replaying such a stream with
+        :func:`~repro.core.engine.collect_matches`.
+        """
+        records = list(self.topic.visible_records())
+        if by_timestamp:
+            records.sort(key=lambda d: d.timestamp)
+        return records

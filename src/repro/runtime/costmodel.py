@@ -1,0 +1,117 @@
+"""Deterministic cluster simulator: replays task traces on N machines.
+
+Exploration tasks are provably independent (paper section 4.5), so
+multi-machine behaviour reduces to scheduling plus data movement.  The
+simulator models:
+
+* **dynamic work assignment** — an idle worker pulls the next update from
+  the single FIFO queue; queue pulls are serialized (one dequeue at a
+  time), which contributes the small sublinearity the paper observes in
+  Figure 6's "other" category;
+* **store fetches with per-machine caching** — each machine keeps an LRU
+  cache of vertex records; a task's touched vertices that miss the cache
+  cost ``store_fetch_cost`` each.  More machines mean more aggregate cache,
+  which is the paper's explanation for the superlinear scaling on the DC
+  dataset (section 6.5.1);
+* **emit cost** per match delta.
+
+All times are in work units (see :class:`~repro.runtime.cluster.ClusterSpec`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.cluster import ClusterSpec, SimResult
+from repro.runtime.scheduler import DynamicScheduler
+from repro.types import TaskTrace
+
+
+class _MachineCache:
+    """LRU set of vertex ids cached on one machine."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, vertex: int) -> bool:
+        """Touch a vertex record; returns True on hit."""
+        if vertex in self._entries:
+            self._entries.move_to_end(vertex)
+            return True
+        self._entries[vertex] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return False
+
+
+class ClusterSimulator:
+    """Replays a task trace against a cluster spec."""
+
+    def __init__(self, spec: ClusterSpec, scheduler: Optional[object] = None) -> None:
+        self.spec = spec
+        self.scheduler = scheduler if scheduler is not None else DynamicScheduler()
+
+    def simulate(self, tasks: Sequence[TaskTrace]) -> SimResult:
+        """Schedule the task trace on the cluster; returns the makespan and
+        cache/queue accounting (see the module docstring for the model)."""
+        spec = self.spec
+        result = SimResult(spec=spec)
+        num_workers = spec.total_workers
+        worker_available = [0.0] * num_workers
+        worker_busy = [0.0] * num_workers
+        caches = [
+            _MachineCache(spec.cache_capacity_per_machine)
+            for _ in range(spec.num_machines)
+        ]
+        queue_free_at = 0.0  # the single queue serializes dequeues
+
+        for task_index, task in enumerate(tasks):
+            worker = self.scheduler.select(task, task_index, worker_available)
+            machine = worker // spec.workers_per_machine
+            # Dequeue: the worker must wait for the queue to be free.
+            start = max(worker_available[worker], queue_free_at)
+            queue_free_at = start + spec.dequeue_cost
+            # Store fetches go through this machine's cache.
+            fetch_units = 0.0
+            cache = caches[machine]
+            for v in sorted(task.touched_vertices):
+                if cache.access(v):
+                    result.cache_hits += 1
+                else:
+                    result.cache_misses += 1
+                    fetch_units += spec.store_fetch_cost
+            duration = (
+                spec.dequeue_cost
+                + fetch_units
+                + task.work
+                + spec.emit_cost * task.num_deltas
+            )
+            worker_available[worker] = start + duration
+            worker_busy[worker] += duration
+            result.total_work_units += duration
+            result.total_tasks += 1
+            result.total_deltas += task.num_deltas
+
+        result.makespan_units = max(worker_available) if tasks else 0.0
+        result.per_worker_busy = worker_busy
+        return result
+
+    def scaling_curve(
+        self, tasks: Sequence[TaskTrace], machine_counts: Sequence[int]
+    ) -> Dict[int, SimResult]:
+        """Simulate the same trace at several cluster sizes (Figure 6)."""
+        out: Dict[int, SimResult] = {}
+        for n in machine_counts:
+            spec = ClusterSpec(
+                num_machines=n,
+                workers_per_machine=self.spec.workers_per_machine,
+                dequeue_cost=self.spec.dequeue_cost,
+                emit_cost=self.spec.emit_cost,
+                store_fetch_cost=self.spec.store_fetch_cost,
+                cache_capacity_per_machine=self.spec.cache_capacity_per_machine,
+            )
+            out[n] = ClusterSimulator(spec, self.scheduler).simulate(tasks)
+        return out

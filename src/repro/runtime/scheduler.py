@@ -1,0 +1,54 @@
+"""Work assignment policies for the cluster simulator.
+
+Tesseract uses *dynamic work assignment*: any worker can process any update
+because the sharded store is fully accessible, so an idle worker simply
+pulls the next update (paper section 5.3).  The alternative the paper argues
+against — partitioning updates across workers up front — is provided as
+:class:`StaticPartitionScheduler` so the ablation benchmark can quantify the
+load-balance win.
+
+A scheduler picks the worker for the next task given each worker's
+next-available time; the simulator then charges the full task duration
+(dequeue + fetches + work + emits) to that worker.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.types import TaskTrace
+
+
+class DynamicScheduler:
+    """FIFO queue + earliest-idle-worker assignment (the paper's scheme)."""
+
+    name = "dynamic"
+
+    def select(
+        self, task: TaskTrace, task_index: int, worker_available: Sequence[float]
+    ) -> int:
+        """Pick the earliest-available worker (ties to the lowest id)."""
+        best = 0
+        best_time = worker_available[0]
+        for w in range(1, len(worker_available)):
+            if worker_available[w] < best_time:
+                best_time = worker_available[w]
+                best = w
+        return best
+
+
+class StaticPartitionScheduler:
+    """Hash-partitioned assignment: each update has a fixed home worker.
+
+    Ignores load, so a run of expensive updates landing on one worker
+    creates stragglers — the imbalance Tesseract's design avoids.
+    """
+
+    name = "static-partition"
+
+    def select(
+        self, task: TaskTrace, task_index: int, worker_available: Sequence[float]
+    ) -> int:
+        # Partition by update edge (the natural key), not arrival index.
+        key = (task.update.u * 1000003 + task.update.v) & 0x7FFFFFFF
+        return key % len(worker_available)

@@ -1,0 +1,159 @@
+"""Worker runtime: pull updates, explore, publish, ack (paper section 5).
+
+"Each Tesseract worker executes Algorithm 2 independently.  An idle worker
+picks the next update in the work queue and processes it to output the
+corresponding changes in the match set."  A :class:`WorkerPool` runs N such
+workers; ``run_threaded`` uses real threads (architectural fidelity — the
+GIL prevents CPU speedup in pure Python), while ``run_serial`` interleaves
+workers deterministically and is what tests use.
+
+Exactly-once output: a worker publishes each delta with a dedup key of
+(queue offset, sequence number) *before* acknowledging the update.  If it
+crashes mid-task the update is redelivered, re-explored (exploration is
+deterministic), and re-published — the pub/sub layer drops the duplicate
+keys (section 5.5).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.api import MiningAlgorithm
+from repro.core.engine import TesseractEngine
+from repro.core.metrics import Metrics
+from repro.errors import WorkerCrashed
+from repro.runtime.fault import FaultInjector
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.pubsub import Topic
+from repro.streaming.queue import WorkItem, WorkQueue
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker outcome counters."""
+
+    worker_id: int
+    tasks_processed: int = 0
+    deltas_published: int = 0
+    crashes: int = 0
+
+
+class WorkerPool:
+    """N independent workers sharing the queue, store, and output topic."""
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        algorithm: MiningAlgorithm,
+        queue: WorkQueue,
+        topic: Topic,
+        num_workers: int = 1,
+        fault_injector: Optional[FaultInjector] = None,
+        trace_tasks: bool = False,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.store = store
+        self.algorithm = algorithm
+        self.queue = queue
+        self.topic = topic
+        self.num_workers = num_workers
+        self.fault_injector = fault_injector
+        # One engine (and metrics) per worker: workers share no soft state.
+        self.engines = [
+            TesseractEngine(store, algorithm, metrics=Metrics(), trace_tasks=trace_tasks)
+            for _ in range(num_workers)
+        ]
+        self.stats = [WorkerStats(worker_id=w) for w in range(num_workers)]
+        self._publish_lock = threading.Lock()
+
+    # -- single task -----------------------------------------------------
+
+    def _process_item(self, worker_id: int, item: WorkItem) -> None:
+        """Explore one update, publish its deltas, then ack."""
+        if self.fault_injector is not None:
+            try:
+                self.fault_injector.on_task_start(worker_id, item.offset)
+            except WorkerCrashed:
+                # The worker process dies; the queue redelivers its task.
+                self.stats[worker_id].crashes += 1
+                self.queue.redeliver(item.offset)
+                raise
+        engine = self.engines[worker_id]
+        deltas = engine.process_update(item.timestamp, item.update)
+        with self._publish_lock:
+            for seq, delta in enumerate(deltas):
+                published = self.topic.publish(
+                    delta,
+                    timestamp=delta.timestamp,
+                    dedup_key=(item.offset, seq),
+                )
+                if published:
+                    self.stats[worker_id].deltas_published += 1
+        self.queue.ack(item.offset)
+        self.stats[worker_id].tasks_processed += 1
+
+    # -- drivers ---------------------------------------------------------
+
+    def run_serial(self) -> List[WorkerStats]:
+        """Drain the queue, rotating workers deterministically.
+
+        Crashed workers restart immediately (Spark restarts workers in the
+        paper); their redelivered task is picked up by the next poll.
+        """
+        worker = 0
+        while True:
+            item = self.queue.poll()
+            if item is None:
+                break
+            try:
+                self._process_item(worker, item)
+            except WorkerCrashed:
+                pass  # task already redelivered; "restarted" worker continues
+            worker = (worker + 1) % self.num_workers
+        return self.stats
+
+    def run_threaded(self) -> List[WorkerStats]:
+        """Run each worker as a thread until the queue drains."""
+        poll_lock = threading.Lock()
+
+        def loop(worker_id: int) -> None:
+            while True:
+                with poll_lock:
+                    item = self.queue.poll()
+                if item is None:
+                    if self.queue.is_drained() or self.queue.closed:
+                        return
+                    time.sleep(0.0005)  # another worker's task may redeliver
+                    continue
+                try:
+                    self._process_item(worker_id, item)
+                except WorkerCrashed:
+                    continue  # restarted
+
+        threads = [
+            threading.Thread(target=loop, args=(w,), name=f"tesseract-worker-{w}")
+            for w in range(self.num_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return self.stats
+
+    # -- aggregate metrics -----------------------------------------------
+
+    def merged_metrics(self) -> Metrics:
+        total = Metrics()
+        for engine in self.engines:
+            total.merge(engine.metrics)
+        return total
+
+    def all_traces(self):
+        traces = []
+        for engine in self.engines:
+            traces.extend(engine.traces)
+        return traces

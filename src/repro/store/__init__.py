@@ -1,0 +1,22 @@
+"""Sharded, multiversioned graph store (paper sections 4.1, 5.2)."""
+
+from repro.store.checkpoint import checkpoint_store, restore_store
+from repro.store.gc import collect_garbage
+from repro.store.mvstore import EdgeInterval, MultiVersionStore, VertexRecord
+from repro.store.remote import FetchCosts, RemoteStoreClient
+from repro.store.shard import ShardMap
+from repro.store.snapshot import ExplorationView, SnapshotView
+
+__all__ = [
+    "EdgeInterval",
+    "MultiVersionStore",
+    "VertexRecord",
+    "ShardMap",
+    "SnapshotView",
+    "ExplorationView",
+    "collect_garbage",
+    "checkpoint_store",
+    "restore_store",
+    "FetchCosts",
+    "RemoteStoreClient",
+]

@@ -1,0 +1,93 @@
+"""Checkpointing and recovery of the multiversioned store (paper §5.5).
+
+"The graph store is replicated and sharded on worker machines and can be
+recovered in case of failures."  We reproduce the recovery contract with a
+JSON checkpoint: :func:`checkpoint_store` serializes the full record set
+(edge version intervals, label histories, latest timestamp) and
+:func:`restore_store` rebuilds an identical store.  Combined with the
+durable work queue's log, a crashed deployment recovers to exactly-once
+output: restore the last checkpoint, then replay queued updates whose
+timestamps exceed the checkpoint's.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphStoreError
+from repro.store.mvstore import EdgeInterval, MultiVersionStore, VertexRecord
+
+PathLike = Union[str, Path]
+
+FORMAT_VERSION = 1
+
+
+def store_to_dict(store: MultiVersionStore) -> dict:
+    """Serializable snapshot of the complete store state."""
+    records = {}
+    for v, rec in store._records.items():
+        edges = {
+            str(dst): [
+                [iv.added_ts, iv.deleted_ts, iv.label, iv.direction]
+                for iv in versions
+            ]
+            for dst, versions in rec.edges.items()
+        }
+        records[str(v)] = {
+            "labels": [[ts, label] for ts, label in rec.label_history],
+            "edges": edges,
+        }
+    return {
+        "format": FORMAT_VERSION,
+        "latest_ts": store.latest_timestamp,
+        "num_shards": store.shards.num_shards,
+        "records": records,
+    }
+
+
+def store_from_dict(data: dict) -> MultiVersionStore:
+    """Rebuild a store from :func:`store_to_dict` output."""
+    if data.get("format") != FORMAT_VERSION:
+        raise GraphStoreError(
+            f"unsupported checkpoint format {data.get('format')!r}"
+        )
+    store = MultiVersionStore(num_shards=data["num_shards"])
+    # Edge intervals are shared between both endpoints' records; rebuild
+    # each undirected edge once and attach the same object to both sides.
+    built = {}
+    for v_str, rec_data in data["records"].items():
+        v = int(v_str)
+        record = VertexRecord(
+            label_history=[(ts, label) for ts, label in rec_data["labels"]]
+        )
+        store._records[v] = record
+    for v_str, rec_data in data["records"].items():
+        v = int(v_str)
+        for dst_str, versions in rec_data["edges"].items():
+            dst = int(dst_str)
+            key = (v, dst) if v < dst else (dst, v)
+            if key not in built:
+                built[key] = [
+                    EdgeInterval(
+                        added_ts=entry[0],
+                        deleted_ts=entry[1],
+                        label=entry[2],
+                        direction=entry[3] if len(entry) > 3 else None,
+                    )
+                    for entry in versions
+                ]
+            store._records[v].edges[dst] = built[key]
+    store._latest_ts = data["latest_ts"]
+    return store
+
+
+def checkpoint_store(store: MultiVersionStore, path: PathLike) -> None:
+    """Write a durable checkpoint of the store to ``path``."""
+    Path(path).write_text(json.dumps(store_to_dict(store)))
+
+
+def restore_store(path: PathLike) -> MultiVersionStore:
+    """Recover a store from a checkpoint file."""
+    return store_from_dict(json.loads(Path(path).read_text()))

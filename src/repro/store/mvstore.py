@@ -1,0 +1,355 @@
+"""The timestamp-based, multiversioned graph store (paper sections 4.1, 5.2).
+
+The paper's store is MongoDB in adjacency-list format: "Each vertex record
+maintains a list of outgoing edges, identified by the destination endpoint of
+the edge, and the edge timestamp and associated labels.  Deleted edges are
+kept but marked with a special flag."  We reproduce that record layout
+in-process:
+
+* each vertex has a record holding a label history and an adjacency map;
+* each adjacency entry keeps a list of :class:`EdgeInterval` versions —
+  ``[added_ts, deleted_ts)`` half-open lifetimes — so the same edge can be
+  deleted and re-added, and deleted edges remain queryable (tombstones) until
+  garbage collection;
+* all reads are *as of* a timestamp, via the view classes in
+  :mod:`repro.store.snapshot`.
+
+Updates must be applied in non-decreasing timestamp order (the ingress node
+guarantees this); reads at any past timestamp then return consistent
+snapshots without synchronization, which is what lets workers run
+independently (section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import InvalidUpdateError, UnknownVertexError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.store.shard import AccessStats, ShardMap
+from repro.types import EdgeKey, Label, Timestamp, VertexId, edge_key
+
+
+@dataclass
+class EdgeInterval:
+    """One version of an edge: alive during ``[added_ts, deleted_ts)``.
+
+    ``direction`` is relative to the normalized (min, max) endpoint order:
+    None = undirected, "fwd" = min->max, "rev" = max->min, "both".
+    """
+
+    added_ts: Timestamp
+    deleted_ts: Optional[Timestamp] = None
+    label: Label = None
+    direction: Optional[str] = None
+
+    def alive_at(self, ts: Timestamp) -> bool:
+        return self.added_ts <= ts and (self.deleted_ts is None or ts < self.deleted_ts)
+
+    def updated_at(self, ts: Timestamp) -> bool:
+        """Whether this version was added or deleted exactly at ``ts``."""
+        return self.added_ts == ts or self.deleted_ts == ts
+
+
+@dataclass
+class VertexRecord:
+    """Adjacency-list record for one vertex, as in the paper's store."""
+
+    #: (timestamp, label) history, appended in timestamp order.
+    label_history: List[Tuple[Timestamp, Label]] = field(default_factory=list)
+    #: neighbor -> list of edge versions, oldest first.
+    edges: Dict[VertexId, List[EdgeInterval]] = field(default_factory=dict)
+
+    def label_at(self, ts: Timestamp) -> Label:
+        """The vertex label in effect at snapshot ``ts`` (None if unset)."""
+        result: Label = None
+        for entry_ts, label in self.label_history:
+            if entry_ts > ts:
+                break
+            result = label
+        return result
+
+
+class MultiVersionStore:
+    """Multiversioned, sharded graph store with timestamped adjacency lists."""
+
+    def __init__(self, num_shards: int = 8) -> None:
+        self._records: Dict[VertexId, VertexRecord] = {}
+        self._latest_ts: Timestamp = 0
+        self.shards = ShardMap(num_shards)
+        self.access_stats = AccessStats()
+
+    # -- write path (ingress only) -------------------------------------------
+
+    def add_edge(
+        self,
+        u: VertexId,
+        v: VertexId,
+        ts: Timestamp,
+        label: Label = None,
+        direction: Optional[str] = None,
+    ) -> None:
+        """Add edge {u, v} at timestamp ``ts``.
+
+        Raises :class:`InvalidUpdateError` if the edge is already alive at
+        ``ts`` (the ingress sanitizer filters such updates out).
+        """
+        if u == v:
+            raise InvalidUpdateError("self-loop edges are not supported")
+        self._check_ts(ts)
+        current = self._current_interval(u, v)
+        if current is not None and current.alive_at(ts):
+            raise InvalidUpdateError(f"edge ({u}, {v}) already exists at ts {ts}")
+        if current is not None and current.deleted_ts == ts:
+            raise InvalidUpdateError(
+                f"edge ({u}, {v}) deleted and re-added in the same window"
+            )
+        from repro.types import normalize_direction
+
+        interval = EdgeInterval(
+            added_ts=ts,
+            label=label,
+            direction=normalize_direction(u, v, direction),
+        )
+        self._record(u).edges.setdefault(v, []).append(interval)
+        self._record(v).edges.setdefault(u, []).append(interval)
+        self._latest_ts = max(self._latest_ts, ts)
+
+    def delete_edge(self, u: VertexId, v: VertexId, ts: Timestamp) -> None:
+        """Mark edge {u, v} deleted at ``ts`` (tombstone; record is kept)."""
+        self._check_ts(ts)
+        current = self._current_interval(u, v)
+        if current is None or not current.alive_at(ts - 1) or current.added_ts == ts:
+            raise InvalidUpdateError(f"edge ({u}, {v}) does not exist before ts {ts}")
+        current.deleted_ts = ts
+        self._latest_ts = max(self._latest_ts, ts)
+
+    def set_vertex_label(self, v: VertexId, ts: Timestamp, label: Label) -> None:
+        """Append a label change effective from snapshot ``ts`` onward."""
+        self._check_ts(ts)
+        history = self._record(v).label_history
+        if history and history[-1][0] == ts:
+            history[-1] = (ts, label)
+        else:
+            history.append((ts, label))
+        self._latest_ts = max(self._latest_ts, ts)
+
+    def ensure_vertex(self, v: VertexId) -> None:
+        self._record(v)
+
+    def _check_ts(self, ts: Timestamp) -> None:
+        if ts < self._latest_ts:
+            raise InvalidUpdateError(
+                f"updates must arrive in timestamp order "
+                f"(got {ts} after {self._latest_ts})"
+            )
+        if ts < 1:
+            raise InvalidUpdateError("timestamps start at 1")
+
+    def _record(self, v: VertexId) -> VertexRecord:
+        rec = self._records.get(v)
+        if rec is None:
+            rec = VertexRecord()
+            self._records[v] = rec
+        return rec
+
+    def _current_interval(self, u: VertexId, v: VertexId) -> Optional[EdgeInterval]:
+        rec = self._records.get(u)
+        if rec is None:
+            return None
+        versions = rec.edges.get(v)
+        return versions[-1] if versions else None
+
+    # -- bulk load -------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls, graph: AdjacencyGraph, ts: Timestamp = 1, num_shards: int = 8
+    ) -> "MultiVersionStore":
+        """Load a whole static graph as one snapshot at timestamp ``ts``."""
+        store = cls(num_shards=num_shards)
+        for v in graph.vertices():
+            store.ensure_vertex(v)
+            label = graph.vertex_label(v)
+            if label is not None:
+                store.set_vertex_label(v, ts, label)
+        for u, v in graph.edges():
+            store.add_edge(
+                u,
+                v,
+                ts,
+                label=graph.edge_label(u, v),
+                direction=graph.edge_direction(u, v),
+            )
+        store._latest_ts = max(store._latest_ts, ts)
+        return store
+
+    # -- read path (timestamped) -------------------------------------------
+
+    @property
+    def latest_timestamp(self) -> Timestamp:
+        return self._latest_ts
+
+    def has_vertex(self, v: VertexId) -> bool:
+        return v in self._records
+
+    def num_vertices(self) -> int:
+        return len(self._records)
+
+    def vertices(self) -> Iterator[VertexId]:
+        return iter(self._records)
+
+    def fetch_record(self, v: VertexId) -> VertexRecord:
+        """Fetch a vertex record, charging the owning shard (accounting)."""
+        rec = self._records.get(v)
+        if rec is None:
+            raise UnknownVertexError(v)
+        self.access_stats.record(self.shards.shard_of(v))
+        return rec
+
+    def vertex_label_at(self, v: VertexId, ts: Timestamp) -> Label:
+        rec = self._records.get(v)
+        if rec is None:
+            return None
+        return rec.label_at(ts)
+
+    def edge_alive_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        rec = self._records.get(u)
+        if rec is None:
+            return False
+        return any(iv.alive_at(ts) for iv in rec.edges.get(v, ()))
+
+    def edge_updated_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        """Whether {u, v} was added or deleted exactly at ``ts``."""
+        rec = self._records.get(u)
+        if rec is None:
+            return False
+        return any(iv.updated_at(ts) for iv in rec.edges.get(v, ()))
+
+    def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> Label:
+        """Label of edge {u, v} at ``ts`` (None if absent or unlabeled)."""
+        rec = self._records.get(u)
+        if rec is None:
+            return None
+        for iv in rec.edges.get(v, ()):
+            if iv.alive_at(ts):
+                return iv.label
+        return None
+
+    def edge_direction_at(
+        self, u: VertexId, v: VertexId, ts: Timestamp
+    ) -> Optional[str]:
+        """Normalized direction of edge {u, v} at ``ts`` (None if absent
+        or undirected)."""
+        rec = self._records.get(u)
+        if rec is None:
+            return None
+        for iv in rec.edges.get(v, ()):
+            if iv.alive_at(ts):
+                return iv.direction
+        return None
+
+    def neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        """Neighbors of ``v`` alive at snapshot ``ts``, sorted by id."""
+        rec = self._records.get(v)
+        if rec is None:
+            return []
+        return sorted(
+            dst
+            for dst, versions in rec.edges.items()
+            if any(iv.alive_at(ts) for iv in versions)
+        )
+
+    def neighbor_states_at(
+        self, v: VertexId, ts: Timestamp
+    ) -> Dict[VertexId, Tuple[bool, bool]]:
+        """Adjacency map of ``v`` for window ``ts``: nbr -> (pre, post).
+
+        One pass over the vertex record yields, for every union-view
+        neighbor, whether the edge is alive in the pre-window snapshot
+        (``ts - 1``) and the post-window snapshot (``ts``).  This is the
+        record a worker fetches to explore around ``v``.
+        """
+        rec = self._records.get(v)
+        if rec is None:
+            return {}
+        out: Dict[VertexId, Tuple[bool, bool]] = {}
+        pre_ts = ts - 1
+        for dst, versions in rec.edges.items():
+            pre = post = False
+            for iv in versions:
+                if not pre and iv.alive_at(pre_ts):
+                    pre = True
+                if not post and iv.alive_at(ts):
+                    post = True
+                if pre and post:
+                    break
+            if pre or post:
+                out[dst] = (pre, post)
+        return out
+
+    def union_neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        """Neighbors alive at ``ts`` or at ``ts - 1`` (the exploration view).
+
+        Exploration must traverse edges deleted in the current window so
+        that removed matches are discovered; a deleted edge has
+        ``deleted_ts == ts`` and is alive at ``ts - 1``.
+        """
+        rec = self._records.get(v)
+        if rec is None:
+            return []
+        return sorted(
+            dst
+            for dst, versions in rec.edges.items()
+            if any(iv.alive_at(ts) or iv.alive_at(ts - 1) for iv in versions)
+        )
+
+    def degree_at(self, v: VertexId, ts: Timestamp) -> int:
+        return len(self.neighbors_at(v, ts))
+
+    def edges_at(self, ts: Timestamp) -> Iterator[EdgeKey]:
+        """All edges alive at snapshot ``ts`` (each yielded once, u < v)."""
+        for u, rec in self._records.items():
+            for v, versions in rec.edges.items():
+                if u < v and any(iv.alive_at(ts) for iv in versions):
+                    yield (u, v)
+
+    def num_edges_at(self, ts: Timestamp) -> int:
+        return sum(1 for _ in self.edges_at(ts))
+
+    def as_adjacency(self, ts: Timestamp) -> AdjacencyGraph:
+        """Materialize the full snapshot at ``ts`` as a plain graph."""
+        g = AdjacencyGraph()
+        for v in self._records:
+            g.add_vertex(v)
+            label = self.vertex_label_at(v, ts)
+            if label is not None:
+                g.set_vertex_label(v, label)
+        for u, v in self.edges_at(ts):
+            g.add_edge(
+                u,
+                v,
+                label=self.edge_label_at(u, v, ts),
+                direction=self.edge_direction_at(u, v, ts),
+            )
+        return g
+
+    # -- maintenance -------------------------------------------------------
+
+    def tombstone_count(self) -> int:
+        """Number of fully dead edge versions currently retained."""
+        count = 0
+        for u, rec in self._records.items():
+            for v, versions in rec.edges.items():
+                if u < v:
+                    count += sum(1 for iv in versions if iv.deleted_ts is not None)
+        return count
+
+    def memory_items(self) -> int:
+        """Total adjacency entries held (a proxy for memory footprint)."""
+        return sum(
+            len(versions)
+            for rec in self._records.values()
+            for versions in rec.edges.values()
+        )

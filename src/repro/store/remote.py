@@ -1,0 +1,143 @@
+"""A client for the disaggregated graph store.
+
+The paper separates compute from storage ("our multiversioned graph store
+is sharded but fully accessible to all workers", §4.1; the Scatter-style
+disaggregation of §7).  Workers therefore read the store through a fetch
+boundary: whole vertex records cross it, and everything else is computed
+worker-side from the fetched copy.
+
+:class:`RemoteStoreClient` makes that boundary explicit.  It implements
+the same read interface as :class:`~repro.store.snapshot.ExplorationView`
+consumes, but every first touch of a vertex performs a *fetch*: it is
+logged, charged simulated latency, and cached worker-side.  Engines run
+unmodified over it, and the accumulated accounting feeds cost analyses
+without any tracing hooks in the engine itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.store.mvstore import MultiVersionStore
+from repro.types import Timestamp, VertexId
+
+
+@dataclass(frozen=True)
+class FetchCosts:
+    """Latency model for one fetch (simulated seconds)."""
+
+    round_trip: float = 100e-6  # network RTT
+    per_edge: float = 0.2e-6  # serialization per adjacency entry
+
+
+@dataclass
+class FetchLog:
+    """Accounting for all fetches a worker performed."""
+
+    fetches: int = 0
+    records_bytes_proxy: int = 0  # adjacency entries shipped
+    simulated_seconds: float = 0.0
+    per_shard: Dict[int, int] = field(default_factory=dict)
+
+
+class RemoteStoreClient:
+    """Worker-side client over a (conceptually remote) store.
+
+    One client per worker; the cache is the worker's soft state and can be
+    dropped at any time without correctness impact (paper §5.5: "The
+    graphs cached at workers can be lost without affecting correctness").
+    """
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        costs: FetchCosts = FetchCosts(),
+        cache_capacity: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.costs = costs
+        self.cache_capacity = cache_capacity
+        self.log = FetchLog()
+        # vertex -> full interval adjacency copy (the fetched record)
+        self._cache: Dict[VertexId, dict] = {}
+
+    # -- the fetch boundary ------------------------------------------------
+
+    def _fetch(self, v: VertexId) -> dict:
+        cached = self._cache.get(v)
+        if cached is not None:
+            return cached
+        record = self.store._records.get(v)
+        edges = dict(record.edges) if record is not None else {}
+        entries = sum(len(versions) for versions in edges.values())
+        self.log.fetches += 1
+        self.log.records_bytes_proxy += max(entries, 1)
+        self.log.simulated_seconds += (
+            self.costs.round_trip + entries * self.costs.per_edge
+        )
+        shard = self.store.shards.shard_of(v)
+        self.log.per_shard[shard] = self.log.per_shard.get(shard, 0) + 1
+        if (
+            self.cache_capacity is not None
+            and len(self._cache) >= self.cache_capacity
+        ):
+            self._cache.pop(next(iter(self._cache)))  # FIFO eviction
+        self._cache[v] = edges
+        return edges
+
+    def drop_cache(self) -> None:
+        """Simulate a worker restart: soft state vanishes."""
+        self._cache.clear()
+
+    # -- read interface (mirrors MultiVersionStore reads) ---------------------
+
+    def neighbor_states_at(
+        self, v: VertexId, ts: Timestamp
+    ) -> Dict[VertexId, Tuple[bool, bool]]:
+        """Union-view adjacency of ``v`` computed from the fetched record."""
+        edges = self._fetch(v)
+        out: Dict[VertexId, Tuple[bool, bool]] = {}
+        pre_ts = ts - 1
+        for dst, versions in edges.items():
+            pre = any(iv.alive_at(pre_ts) for iv in versions)
+            post = any(iv.alive_at(ts) for iv in versions)
+            if pre or post:
+                out[dst] = (pre, post)
+        return out
+
+    def union_neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        return sorted(self.neighbor_states_at(v, ts))
+
+    def neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        return sorted(
+            dst
+            for dst, versions in self._fetch(v).items()
+            if any(iv.alive_at(ts) for iv in versions)
+        )
+
+    def edge_alive_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        return any(iv.alive_at(ts) for iv in self._fetch(u).get(v, ()))
+
+    def edge_updated_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        return any(iv.updated_at(ts) for iv in self._fetch(u).get(v, ()))
+
+    def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp):
+        for iv in self._fetch(u).get(v, ()):
+            if iv.alive_at(ts):
+                return iv.label
+        return None
+
+    def edge_direction_at(self, u: VertexId, v: VertexId, ts: Timestamp):
+        for iv in self._fetch(u).get(v, ()):
+            if iv.alive_at(ts):
+                return iv.direction
+        return None
+
+    def vertex_label_at(self, v: VertexId, ts: Timestamp):
+        # labels live with the vertex record; fetching it charges the shard
+        self._fetch(v)
+        return self.store.vertex_label_at(v, ts)
+
+    def has_vertex(self, v: VertexId) -> bool:
+        return self.store.has_vertex(v)

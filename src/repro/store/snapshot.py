@@ -1,0 +1,155 @@
+"""Point-in-time views over the multiversioned store.
+
+A :class:`SnapshotView` reads the graph exactly as it was at one timestamp.
+An :class:`ExplorationView` is the graph the EXPLORE algorithm walks: the
+union of the pre-window and post-window snapshots, with helpers to evaluate
+edges in either version (paper section 4.3) and to test whether an edge was
+updated in the current window (Algorithm 3 line 2).
+
+Both views optionally record the set of vertex records they fetch, which the
+cluster simulator's cache model consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.store.mvstore import MultiVersionStore
+from repro.types import Label, Timestamp, VertexId
+
+
+class SnapshotView:
+    """Read-only view of the graph as of one snapshot timestamp."""
+
+    __slots__ = ("store", "ts", "recorder")
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        ts: Timestamp,
+        recorder: Optional[Set[VertexId]] = None,
+    ) -> None:
+        self.store = store
+        self.ts = ts
+        self.recorder = recorder
+
+    def _touch(self, v: VertexId) -> None:
+        if self.recorder is not None:
+            self.recorder.add(v)
+
+    def neighbors(self, v: VertexId) -> List[VertexId]:
+        self._touch(v)
+        return self.store.neighbors_at(v, self.ts)
+
+    def has_edge(self, u: VertexId, v: VertexId) -> bool:
+        self._touch(u)
+        return self.store.edge_alive_at(u, v, self.ts)
+
+    def degree(self, v: VertexId) -> int:
+        self._touch(v)
+        return self.store.degree_at(v, self.ts)
+
+    def vertex_label(self, v: VertexId) -> Label:
+        self._touch(v)
+        return self.store.vertex_label_at(v, self.ts)
+
+    def edge_label(self, u: VertexId, v: VertexId) -> Label:
+        self._touch(u)
+        return self.store.edge_label_at(u, v, self.ts)
+
+    def has_vertex(self, v: VertexId) -> bool:
+        return self.store.has_vertex(v)
+
+
+class ExplorationView:
+    """The union view walked by EXPLORE for a window at timestamp ``ts``.
+
+    Neighbor iteration covers every edge alive immediately before or after
+    the window, so exploration reaches matches destroyed by deletions as
+    well as matches created by additions.  ``alive_pre``/``alive_post``
+    evaluate an edge in the pre-update and post-update snapshots, which is
+    what DETECT_CHANGES needs to build the two subgraph versions.
+
+    The view memoizes neighbor lists, edge states, and labels: it models
+    the worker's in-memory copy of the graph records fetched for one task
+    (the paper's workers "operate on an in-memory graph representation",
+    section 5.2).  The first access to a vertex is recorded as a store
+    fetch; subsequent accesses hit the worker-local copy.
+    """
+
+    __slots__ = ("store", "ts", "recorder", "_nbr_cache", "_label_cache")
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        ts: Timestamp,
+        recorder: Optional[Set[VertexId]] = None,
+    ) -> None:
+        if ts < 1:
+            raise ValueError("window timestamps start at 1")
+        self.store = store
+        self.ts = ts
+        self.recorder = recorder
+        self._nbr_cache: dict = {}
+        self._label_cache: dict = {}
+
+    def _touch(self, v: VertexId) -> None:
+        if self.recorder is not None:
+            self.recorder.add(v)
+
+    def adjacency(self, v: VertexId) -> dict:
+        """Union-view adjacency map of ``v``: nbr -> (alive_pre, alive_post).
+
+        The map is the worker-local copy of the fetched vertex record;
+        the first access counts as a store fetch.
+        """
+        cached = self._nbr_cache.get(v)
+        if cached is None:
+            self._touch(v)
+            cached = self.store.neighbor_states_at(v, self.ts)
+            self._nbr_cache[v] = cached
+        return cached
+
+    def neighbors(self, v: VertexId) -> List[VertexId]:
+        """Neighbors of ``v`` in the union of pre- and post-window snapshots."""
+        return sorted(self.adjacency(v))
+
+    def edge_state(self, u: VertexId, v: VertexId) -> tuple:
+        """(alive_pre, alive_post) for edge {u, v}."""
+        return self.adjacency(u).get(v, (False, False))
+
+    def alive_pre(self, u: VertexId, v: VertexId) -> bool:
+        """Whether edge {u, v} exists in the snapshot preceding the window."""
+        return self.edge_state(u, v)[0]
+
+    def alive_post(self, u: VertexId, v: VertexId) -> bool:
+        """Whether edge {u, v} exists in the snapshot after the window."""
+        return self.edge_state(u, v)[1]
+
+    def alive_union(self, u: VertexId, v: VertexId) -> bool:
+        state = self.edge_state(u, v)
+        return state[0] or state[1]
+
+    def updated_in_window(self, u: VertexId, v: VertexId) -> bool:
+        """Whether edge {u, v} was added or deleted in this window.
+
+        This is the ``TIMESTAMP(v, u) == ts`` test of Algorithm 3 line 2.
+        """
+        self._touch(u)
+        return self.store.edge_updated_at(u, v, self.ts)
+
+    def vertex_label(self, v: VertexId, pre: bool = False) -> Label:
+        """Vertex label at the window's post snapshot (or pre with ``pre=True``)."""
+        key = (v, pre)
+        if key in self._label_cache:
+            return self._label_cache[key]
+        self._touch(v)
+        label = self.store.vertex_label_at(v, self.ts - 1 if pre else self.ts)
+        self._label_cache[key] = label
+        return label
+
+    def pre_snapshot(self) -> SnapshotView:
+        return SnapshotView(self.store, self.ts - 1, self.recorder)
+
+    def post_snapshot(self) -> SnapshotView:
+        return SnapshotView(self.store, self.ts, self.recorder)

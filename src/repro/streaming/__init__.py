@@ -1,0 +1,15 @@
+"""Streaming substrate: ingress node, durable work queue, pub/sub output."""
+
+from repro.streaming.ingress import IngressNode, Window
+from repro.streaming.pubsub import PubSub, Subscription, Topic
+from repro.streaming.queue import WorkItem, WorkQueue
+
+__all__ = [
+    "IngressNode",
+    "Window",
+    "PubSub",
+    "Subscription",
+    "Topic",
+    "WorkItem",
+    "WorkQueue",
+]

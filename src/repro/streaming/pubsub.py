@@ -1,0 +1,139 @@
+"""Publish-subscribe output platform (paper section 5.4).
+
+Workers emit match deltas to a pub/sub system (Kafka in the paper) that
+stores them durably and serves them to output-processing subscribers.
+Two stream modes are supported (section 3.1):
+
+* **unordered** — records are visible to subscribers immediately, giving
+  lower latency for eventually-consistent consumers (e.g. keyword search);
+* **ordered** — records are buffered and released in timestamp order as the
+  low watermark advances, for consumers that cannot handle out-of-order
+  matches (e.g. FSM support maintenance).
+
+Publishing is idempotent per ``dedup_key``: redelivered work after a worker
+crash publishes the same keys again and duplicates are dropped, giving the
+exactly-once output semantics of section 5.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from repro.errors import DataflowError
+from repro.types import Timestamp
+
+T = TypeVar("T")
+
+
+@dataclass
+class Subscription(Generic[T]):
+    """A subscriber's cursor into a topic."""
+
+    topic: "Topic[T]"
+    position: int = 0
+
+    def poll(self) -> Optional[T]:
+        """Return the next visible record, or None when caught up."""
+        records = self.topic.visible_records()
+        if self.position >= len(records):
+            return None
+        record = records[self.position]
+        self.position += 1
+        return record
+
+    def drain(self) -> List[T]:
+        records = self.topic.visible_records()
+        out = list(records[self.position :])
+        self.position = len(records)
+        return out
+
+
+class Topic(Generic[T]):
+    """A durable, optionally ordered stream of records."""
+
+    def __init__(self, name: str, ordered: bool = False) -> None:
+        self.name = name
+        self.ordered = ordered
+        self._visible: List[T] = []
+        self._held: List[Tuple[Timestamp, int, T]] = []  # pending ordered records
+        self._seq = 0
+        self._watermark: Timestamp = 0
+        self._seen_keys: set = set()
+        self.duplicates_dropped = 0
+
+    def publish(
+        self,
+        record: T,
+        timestamp: Timestamp = 0,
+        dedup_key: Optional[Hashable] = None,
+    ) -> bool:
+        """Publish a record; returns False if deduplicated away."""
+        if dedup_key is not None:
+            if dedup_key in self._seen_keys:
+                self.duplicates_dropped += 1
+                return False
+            self._seen_keys.add(dedup_key)
+        if self.ordered and timestamp > self._watermark:
+            self._held.append((timestamp, self._seq, record))
+            self._seq += 1
+        else:
+            self._visible.append(record)
+        return True
+
+    def advance_watermark(self, timestamp: Timestamp) -> int:
+        """Release held records with ts <= ``timestamp``; returns count.
+
+        The low watermark guarantees all updates with a timestamp lower or
+        equal to the target have been emitted (section 5.4), so held records
+        at or below it can be released in timestamp order.
+        """
+        if timestamp < self._watermark:
+            raise DataflowError("watermark cannot move backwards")
+        self._watermark = timestamp
+        if not self._held:
+            return 0
+        ready = [h for h in self._held if h[0] <= timestamp]
+        self._held = [h for h in self._held if h[0] > timestamp]
+        ready.sort()
+        self._visible.extend(record for _, _, record in ready)
+        return len(ready)
+
+    def visible_records(self) -> List[T]:
+        return self._visible
+
+    @property
+    def watermark(self) -> Timestamp:
+        return self._watermark
+
+    def held_count(self) -> int:
+        return len(self._held)
+
+    def subscribe(self) -> Subscription[T]:
+        return Subscription(self)
+
+    def __len__(self) -> int:
+        return len(self._visible)
+
+
+class PubSub:
+    """A namespace of topics."""
+
+    def __init__(self) -> None:
+        self._topics: Dict[str, Topic[Any]] = {}
+
+    def topic(self, name: str, ordered: bool = False) -> Topic[Any]:
+        """Get or create a topic; the ordered flag must stay consistent."""
+        existing = self._topics.get(name)
+        if existing is not None:
+            if existing.ordered != ordered:
+                raise DataflowError(
+                    f"topic {name!r} already exists with ordered={existing.ordered}"
+                )
+            return existing
+        topic: Topic[Any] = Topic(name, ordered=ordered)
+        self._topics[name] = topic
+        return topic
+
+    def topics(self) -> List[str]:
+        return sorted(self._topics)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make tests/oracles.py importable from every test package.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.datasets import figure1_graph, figure1_updates
+from repro.graph.generators import erdos_renyi
+
+
+@pytest.fixture
+def triangle_graph() -> AdjacencyGraph:
+    return AdjacencyGraph.from_edges([(1, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def path_graph() -> AdjacencyGraph:
+    return AdjacencyGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def k4_graph() -> AdjacencyGraph:
+    return AdjacencyGraph.from_edges(
+        [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]
+    )
+
+
+@pytest.fixture
+def figure1():
+    return figure1_graph()
+
+
+@pytest.fixture
+def figure1_ups():
+    return figure1_updates()
+
+
+@pytest.fixture
+def random_graph() -> AdjacencyGraph:
+    return erdos_renyi(20, 45, seed=42)
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")

@@ -1,0 +1,145 @@
+"""Integration tests for the full TesseractSystem wiring (Figure 2)."""
+
+import pytest
+
+from repro.apps import CliqueMining, MotifCounting
+from repro.core.engine import TesseractEngine, collect_matches
+from repro.dataflow import MOTIF
+from repro.graph.generators import erdos_renyi, shuffled_edges
+from repro.runtime.coordinator import TesseractSystem
+from repro.runtime.fault import CrashPlan, FaultInjector
+from repro.types import Update
+
+from oracles import brute_force_cliques
+
+
+class TestEndToEnd:
+    def test_live_count_matches_static(self):
+        g = erdos_renyi(25, 70, seed=13)
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=7, num_workers=3)
+        count = system.output_stream().count()
+        system.submit_many(Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=2))
+        system.flush()
+        assert count.value() == len(brute_force_cliques(g, 3))
+
+    def test_incremental_flushes(self):
+        g = erdos_renyi(20, 50, seed=14)
+        edges = shuffled_edges(g, seed=3)
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=5)
+        count = system.output_stream().count()
+        half = len(edges) // 2
+        system.submit_many(Update.add_edge(u, v) for u, v in edges[:half])
+        system.flush()
+        mid = count.value()
+        system.submit_many(Update.add_edge(u, v) for u, v in edges[half:])
+        system.flush()
+        assert count.value() == len(brute_force_cliques(g, 3))
+        assert mid <= count.value()
+
+    def test_deletion_returns_counts(self):
+        g = erdos_renyi(15, 40, seed=15)
+        edges = shuffled_edges(g, seed=4)
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=4)
+        count = system.output_stream().count()
+        system.submit_many(Update.add_edge(u, v) for u, v in edges)
+        system.flush()
+        full = count.value()
+        system.submit_many(Update.delete_edge(u, v) for u, v in edges[:10])
+        system.flush()
+        partial = count.value()
+        system.submit_many(Update.add_edge(u, v) for u, v in edges[:10])
+        system.flush()
+        assert count.value() == full
+        assert partial <= full
+
+    def test_initial_graph_preload(self):
+        g = erdos_renyi(15, 40, seed=16)
+        system = TesseractSystem(
+            CliqueMining(3, min_size=3), window_size=4, initial_graph=g
+        )
+        assert system.snapshot().num_edges() == g.num_edges()
+
+    def test_motif_pipeline_on_system(self):
+        g = erdos_renyi(18, 40, seed=17)
+        system = TesseractSystem(MotifCounting(3, min_size=3), window_size=6)
+        motifs = system.output_stream().group_by(MOTIF).count()
+        system.submit_many(Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=1))
+        system.flush()
+        from oracles import brute_force_motif_counts
+
+        assert motifs.state() == brute_force_motif_counts(g, 3)
+
+    def test_metrics_accumulate(self):
+        g = erdos_renyi(12, 25, seed=18)
+        system = TesseractSystem(CliqueMining(3), window_size=5, num_workers=2)
+        system.submit_many(Update.add_edge(u, v) for u, v in g.sorted_edges())
+        system.flush()
+        assert system.metrics().filter_calls > 0
+
+    def test_threaded_mode(self):
+        g = erdos_renyi(18, 45, seed=19)
+        serial = TesseractSystem(CliqueMining(3, min_size=3), window_size=5)
+        sc = serial.output_stream().count()
+        serial.submit_many(Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=2))
+        serial.flush()
+        threaded = TesseractSystem(
+            CliqueMining(3, min_size=3), window_size=5, num_workers=4, threaded=True
+        )
+        tc = threaded.output_stream().count()
+        threaded.submit_many(Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=2))
+        threaded.flush()
+        assert tc.value() == sc.value()
+
+
+class TestExactlyOnce:
+    def test_crashy_system_same_output(self):
+        g = erdos_renyi(16, 40, seed=20)
+        edges = shuffled_edges(g, seed=5)
+
+        def run(fault=None):
+            system = TesseractSystem(
+                CliqueMining(3, min_size=3),
+                window_size=4,
+                num_workers=2,
+                fault_injector=fault,
+            )
+            count = system.output_stream().count()
+            system.submit_many(Update.add_edge(u, v) for u, v in edges)
+            system.flush()
+            return count.value(), system.deltas()
+
+        clean_count, clean_deltas = run()
+        fault = FaultInjector(CrashPlan(((0, 1), (1, 2), (0, 5))))
+        crashy_count, crashy_deltas = run(fault)
+        assert fault.crash_count == 3
+        assert crashy_count == clean_count
+        key = lambda d: (d.timestamp, d.status.value, tuple(sorted(d.subgraph.vertices)))
+        assert sorted(map(key, crashy_deltas)) == sorted(map(key, clean_deltas))
+
+    def test_no_duplicate_matches_after_crashes(self):
+        g = erdos_renyi(16, 40, seed=21)
+        fault = FaultInjector(CrashPlan.every_nth(0, 3, times=3))
+        system = TesseractSystem(
+            CliqueMining(3, min_size=3),
+            window_size=4,
+            num_workers=2,
+            fault_injector=fault,
+        )
+        system.submit_many(
+            Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=6)
+        )
+        system.flush()
+        collect_matches(system.deltas())  # raises on any duplicate
+
+
+class TestOrderedOutput:
+    def test_ordered_topic_releases_by_watermark(self):
+        from repro.apps.fsm import FrequentSubgraphMining
+
+        g = erdos_renyi(10, 18, seed=22)
+        system = TesseractSystem(FrequentSubgraphMining(2), window_size=3)
+        system.submit_many(Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=7))
+        system.flush()
+        deltas = system.deltas()
+        timestamps = [d.timestamp for d in deltas]
+        assert timestamps == sorted(timestamps)

@@ -1,0 +1,107 @@
+"""Integration: garbage collection under load, ordered output, watermarks."""
+
+import pytest
+
+from repro.apps import CliqueMining
+from repro.apps.fsm import FrequentSubgraphMining
+from repro.core.engine import collect_matches
+from repro.graph.generators import erdos_renyi, shuffled_edges
+from repro.runtime.coordinator import TesseractSystem
+from repro.store.gc import collect_garbage
+from repro.types import Update
+
+
+class TestGCUnderLoad:
+    def test_gc_after_processing_does_not_change_results(self):
+        g = erdos_renyi(15, 40, seed=30)
+        edges = shuffled_edges(g, seed=1)
+        system = TesseractSystem(
+            CliqueMining(3, min_size=3), window_size=3, gc_enabled=True
+        )
+        # interleave adds and deletes to generate tombstones
+        for i, (u, v) in enumerate(edges):
+            system.submit(Update.add_edge(u, v))
+            if i % 4 == 3:
+                du, dv = edges[i - 2]
+                system.submit(Update.delete_edge(du, dv))
+                system.flush()  # process so the watermark advances
+        system.flush()
+        live = collect_matches(system.deltas())
+        # recompute from the final snapshot
+        final = system.snapshot()
+        from repro.core.engine import TesseractEngine
+
+        expected = collect_matches(
+            TesseractEngine.run_static(final, CliqueMining(3, min_size=3))
+        )
+        assert live == expected
+        assert system.ingress.gc_reclaimed >= 0
+
+    def test_explicit_gc_reduces_memory(self):
+        system = TesseractSystem(CliqueMining(3), window_size=1)
+        for i in range(20):
+            system.submit(Update.add_edge(1, 2 + i))
+        system.flush()
+        for i in range(20):
+            system.submit(Update.delete_edge(1, 2 + i))
+        system.flush()
+        before = system.store.memory_items()
+        reclaimed = collect_garbage(system.store, system.queue.low_watermark())
+        assert reclaimed == 20
+        assert system.store.memory_items() < before
+
+
+class TestOrderedOutputIntegration:
+    def test_fsm_sees_timestamps_in_order_despite_windowing(self):
+        g = erdos_renyi(12, 26, seed=31)
+        system = TesseractSystem(FrequentSubgraphMining(2), window_size=4)
+        system.submit_many(
+            Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=2)
+        )
+        system.flush()
+        timestamps = [d.timestamp for d in system.deltas()]
+        assert timestamps == sorted(timestamps)
+        assert system.topic.held_count() == 0  # everything released
+
+    def test_unordered_topic_for_unordered_algorithms(self):
+        system = TesseractSystem(CliqueMining(3), window_size=4)
+        assert not system.topic.ordered
+
+    def test_watermark_matches_queue_state(self):
+        system = TesseractSystem(CliqueMining(3), window_size=2)
+        system.submit(Update.add_edge(1, 2))
+        system.submit(Update.add_edge(2, 3))
+        system.flush()
+        assert system.topic.watermark == system.queue.low_watermark()
+        assert system.queue.low_watermark() == 1
+
+
+class TestMultipleStreams:
+    def test_two_output_streams_both_fed(self):
+        g = erdos_renyi(12, 30, seed=32)
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=5)
+        count_a = system.output_stream().count()
+        count_b = (
+            system.output_stream()
+            .filter(lambda sub: 0 in sub.vertices)
+            .count()
+        )
+        system.submit_many(
+            Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=3)
+        )
+        system.flush()
+        assert count_a.value() >= count_b.value()
+        assert count_a.value() == len(collect_matches(system.deltas()))
+
+    def test_stream_attached_after_data_gets_only_new_batches(self):
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=1)
+        early = system.output_stream().count()
+        for u, v in [(1, 2), (2, 3), (1, 3)]:
+            system.submit(Update.add_edge(u, v))
+        system.flush()
+        late = system.output_stream().count()
+        system.submit(Update.add_edge(3, 4))
+        system.submit(Update.add_edge(2, 4))
+        system.flush()
+        assert early.value() == 2  # both triangles
+        assert late.value() == 1  # only the second one

@@ -1,0 +1,220 @@
+"""Property-based tests: the core correctness invariants (DESIGN.md §5).
+
+Invariant 1 (static equivalence), 2 (no duplicates), 3 (update
+containment), 4 (order independence), 5 (deletion symmetry) — all over
+hypothesis-generated graphs and update schedules.
+"""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import CliqueMining, MotifCounting, PathMining
+from repro.core.api import EdgeInduced, MiningAlgorithm
+from repro.core.engine import TesseractEngine, collect_matches
+from repro.graph.adjacency import AdjacencyGraph
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.ingress import IngressNode
+from repro.streaming.queue import WorkQueue
+from repro.types import Update
+
+from oracles import brute_force_edge_induced, brute_force_vertex_induced
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class AllEdgeInduced(MiningAlgorithm):
+    induced = EdgeInduced
+    max_size = 3
+
+    def filter(self, s):
+        return len(s) <= self.max_size
+
+    def match(self, s):
+        return len(s) >= 2
+
+
+@st.composite
+def small_graphs(draw, max_vertices=8, max_edges=14):
+    n = draw(st.integers(min_value=3, max_value=max_vertices))
+    possible = list(itertools.combinations(range(n), 2))
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=max_edges, unique=True)
+    )
+    g = AdjacencyGraph()
+    for v in range(n):
+        g.add_vertex(v)
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def update_schedules(draw, max_vertices=7, length=24):
+    """A random interleaving of valid adds and deletes plus a window size."""
+    n = draw(st.integers(min_value=4, max_value=max_vertices))
+    possible = list(itertools.combinations(range(n), 2))
+    window = draw(st.sampled_from([1, 2, 3, 7]))
+    ops = []
+    present = set()
+    for _ in range(length):
+        do_delete = draw(st.booleans()) and present
+        if do_delete:
+            e = draw(st.sampled_from(sorted(present)))
+            present.discard(e)
+            ops.append(Update.delete_edge(*e))
+        else:
+            e = draw(st.sampled_from(possible))
+            if e in present:
+                continue
+            present.add(e)
+            ops.append(Update.add_edge(*e))
+    return n, ops, present, window
+
+
+ALGORITHMS = [
+    CliqueMining(4, min_size=3),
+    MotifCounting(3),
+    PathMining(4),
+]
+
+
+class TestStaticEquivalence:
+    @SETTINGS
+    @given(small_graphs())
+    def test_vertex_induced_matches_oracle(self, g):
+        for alg in ALGORITHMS:
+            live = collect_matches(TesseractEngine.run_static(g, alg))
+            assert live == brute_force_vertex_induced(g, alg)
+
+    @SETTINGS
+    @given(small_graphs(max_vertices=6, max_edges=9))
+    def test_edge_induced_matches_oracle(self, g):
+        alg = AllEdgeInduced()
+        live = collect_matches(TesseractEngine.run_static(g, alg))
+        assert live == brute_force_edge_induced(g, alg)
+
+
+class TestIncrementalEquivalence:
+    @SETTINGS
+    @given(update_schedules())
+    def test_final_state_matches_oracle(self, schedule):
+        n, ops, present, window = schedule
+        store = MultiVersionStore()
+        queue = WorkQueue()
+        ingress = IngressNode(store, queue, window_size=window)
+        ingress.submit_many(ops)
+        ingress.flush()
+        alg = CliqueMining(4, min_size=3)
+        engine = TesseractEngine(store, alg)
+        deltas = engine.drain_queue(queue)
+        live = collect_matches(deltas)  # also validates no-duplicates
+        final = AdjacencyGraph()
+        for v in range(n):
+            final.add_vertex(v)
+        for u, v in sorted(present):
+            final.add_edge(u, v)
+        assert live == brute_force_vertex_induced(final, alg)
+
+    @SETTINGS
+    @given(update_schedules(max_vertices=6, length=16))
+    def test_edge_induced_incremental(self, schedule):
+        n, ops, present, window = schedule
+        store = MultiVersionStore()
+        queue = WorkQueue()
+        ingress = IngressNode(store, queue, window_size=window)
+        ingress.submit_many(ops)
+        ingress.flush()
+        alg = AllEdgeInduced()
+        engine = TesseractEngine(store, alg)
+        live = collect_matches(engine.drain_queue(queue))
+        final = AdjacencyGraph()
+        for v in range(n):
+            final.add_vertex(v)
+        for u, v in sorted(present):
+            final.add_edge(u, v)
+        assert live == brute_force_edge_induced(final, alg)
+
+
+class TestUpdateContainment:
+    @SETTINGS
+    @given(update_schedules(length=16))
+    def test_every_delta_contains_a_window_update(self, schedule):
+        n, ops, present, window = schedule
+        store = MultiVersionStore()
+        queue = WorkQueue()
+        ingress = IngressNode(store, queue, window_size=window)
+        ingress.submit_many(ops)
+        ingress.flush()
+        # collect window membership
+        window_edges = {}
+        while True:
+            item = queue.poll()
+            if item is None:
+                break
+            window_edges.setdefault(item.timestamp, set()).add(item.update.key)
+            queue.ack(item.offset)
+        store2 = MultiVersionStore()
+        queue2 = WorkQueue()
+        ingress2 = IngressNode(store2, queue2, window_size=window)
+        ingress2.submit_many(ops)
+        ingress2.flush()
+        engine = TesseractEngine(store2, CliqueMining(4, min_size=3))
+        deltas = engine.drain_queue(queue2)
+        for d in deltas:
+            verts = set(d.subgraph.vertices)
+            touched = window_edges.get(d.timestamp, set())
+            assert any(u in verts and v in verts for u, v in touched)
+
+
+class TestOrderIndependence:
+    @SETTINGS
+    @given(update_schedules(length=14), st.randoms(use_true_random=False))
+    def test_within_window_processing_order_irrelevant(self, schedule, rng):
+        n, ops, present, window = schedule
+        store = MultiVersionStore()
+        queue = WorkQueue()
+        ingress = IngressNode(store, queue, window_size=window)
+        ingress.submit_many(ops)
+        ingress.flush()
+        items = []
+        while True:
+            item = queue.poll()
+            if item is None:
+                break
+            items.append(item)
+            queue.ack(item.offset)
+        engine = TesseractEngine(store, CliqueMining(4, min_size=3))
+        in_order = []
+        for item in items:
+            in_order.extend(engine.process_update(item.timestamp, item.update))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        engine2 = TesseractEngine(store, CliqueMining(4, min_size=3))
+        out_of_order = []
+        for item in shuffled:
+            out_of_order.extend(
+                engine2.process_update(item.timestamp, item.update)
+            )
+        key = lambda d: (d.timestamp, d.status.value, tuple(sorted(d.subgraph.vertices)), tuple(sorted(d.subgraph.edges)))
+        assert sorted(map(key, in_order)) == sorted(map(key, out_of_order))
+
+
+class TestDeletionSymmetry:
+    @SETTINGS
+    @given(small_graphs(max_vertices=7, max_edges=12))
+    def test_add_all_delete_all_nets_to_zero(self, g):
+        store = MultiVersionStore()
+        queue = WorkQueue()
+        ingress = IngressNode(store, queue, window_size=3)
+        edges = g.sorted_edges()
+        ingress.submit_many(Update.add_edge(u, v) for u, v in edges)
+        ingress.submit_many(Update.delete_edge(u, v) for u, v in reversed(edges))
+        ingress.flush()
+        engine = TesseractEngine(store, CliqueMining(4, min_size=3))
+        live = collect_matches(engine.drain_queue(queue))
+        assert live == set()

@@ -1,0 +1,107 @@
+"""Unit tests for the plain adjacency graph."""
+
+import pytest
+
+from repro.errors import UnknownVertexError
+from repro.graph.adjacency import AdjacencyGraph
+
+
+class TestMutation:
+    def test_add_edge_creates_vertices(self):
+        g = AdjacencyGraph()
+        assert g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.has_vertex(2)
+        assert g.num_edges() == 1
+
+    def test_duplicate_add_returns_false(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert not g.add_edge(2, 1)
+        assert g.num_edges() == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            AdjacencyGraph().add_edge(3, 3)
+
+    def test_remove_edge(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        assert g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges() == 1
+        assert not g.remove_edge(1, 2)
+
+    def test_remove_vertex_drops_incident_edges(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        g.remove_vertex(2)
+        assert not g.has_vertex(2)
+        assert g.num_edges() == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_unknown_vertex(self):
+        with pytest.raises(UnknownVertexError):
+            AdjacencyGraph().remove_vertex(9)
+
+
+class TestLabels:
+    def test_vertex_labels(self):
+        g = AdjacencyGraph()
+        g.add_vertex(1, label="red")
+        assert g.vertex_label(1) == "red"
+        g.set_vertex_label(1, "blue")
+        assert g.vertex_label(1) == "blue"
+
+    def test_unlabeled_vertex(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert g.vertex_label(1) is None
+
+    def test_edge_labels(self):
+        g = AdjacencyGraph()
+        g.add_edge(1, 2, label="friend")
+        assert g.edge_label(2, 1) == "friend"
+
+    def test_remove_edge_clears_label(self):
+        g = AdjacencyGraph()
+        g.add_edge(1, 2, label="x")
+        g.remove_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.edge_label(1, 2) is None
+
+    def test_label_unknown_vertex(self):
+        with pytest.raises(UnknownVertexError):
+            AdjacencyGraph().set_vertex_label(5, "x")
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert g.neighbors(1) == {2, 3, 4}
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_neighbors_unknown(self):
+        with pytest.raises(UnknownVertexError):
+            AdjacencyGraph().neighbors(1)
+
+    def test_edges_yielded_once(self):
+        g = AdjacencyGraph.from_edges([(2, 1), (3, 1)])
+        assert sorted(g.edges()) == [(1, 2), (1, 3)]
+
+    def test_sorted_edges(self):
+        g = AdjacencyGraph.from_edges([(5, 6), (1, 9), (2, 3)])
+        assert g.sorted_edges() == [(1, 9), (2, 3), (5, 6)]
+
+    def test_copy_is_deep(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        c = g.copy()
+        c.add_edge(2, 3)
+        assert g.num_edges() == 1
+        assert c.num_edges() == 2
+
+    def test_contains(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert 1 in g and 7 not in g
+
+    def test_from_edges_with_labels(self):
+        g = AdjacencyGraph.from_edges([(1, 2)], vertex_labels={1: "a", 3: "b"})
+        assert g.vertex_label(1) == "a"
+        assert g.has_vertex(3)  # label-only vertex is created
+        assert g.vertex_label(3) == "b"

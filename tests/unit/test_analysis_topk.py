@@ -1,0 +1,127 @@
+"""Unit tests for graph analysis utilities and the TopK aggregator."""
+
+import pytest
+
+from repro.dataflow import TopKAggregator
+from repro.dataflow.stream import Record, Stream
+from repro.errors import AggregationError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.analysis import (
+    clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    degree_summary,
+)
+from repro.graph.generators import barabasi_albert, erdos_renyi
+
+
+class TestDegreeSummary:
+    def test_basic_stats(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+        s = degree_summary(g)
+        assert s.num_vertices == 4
+        assert s.max_degree == 3
+        assert s.min_degree == 1
+        assert s.mean_degree == pytest.approx(1.5)
+
+    def test_empty_graph(self):
+        s = degree_summary(AdjacencyGraph())
+        assert s.num_vertices == 0
+        assert s.gini == 0.0
+
+    def test_regular_graph_gini_zero(self):
+        # 4-cycle: every degree 2 -> perfectly equal distribution
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (3, 4), (1, 4)])
+        assert degree_summary(g).gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_ba_has_heavier_tail_than_er(self):
+        """The structural claim behind the dataset stand-ins."""
+        ba = degree_summary(barabasi_albert(400, 4, seed=1))
+        er = degree_summary(erdos_renyi(400, ba.num_edges, seed=1))
+        assert ba.hub_ratio > 2 * er.hub_ratio
+        assert ba.gini > er.gini
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (10, 11)])
+        comps = connected_components(g)
+        assert [len(c) for c in comps] == [3, 2]
+
+    def test_isolated_vertices(self):
+        g = AdjacencyGraph()
+        for v in range(3):
+            g.add_vertex(v)
+        assert len(connected_components(g)) == 3
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self, triangle_graph):
+        assert clustering_coefficient(triangle_graph) == pytest.approx(1.0)
+
+    def test_star_has_zero_clustering(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert clustering_coefficient(g) == 0.0
+
+    def test_agrees_with_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(40, 120, seed=2)
+        ours = clustering_coefficient(g)
+        theirs = nx.transitivity(g.to_networkx())
+        assert ours == pytest.approx(theirs)
+
+
+class TestDegreeHistogram:
+    def test_histogram(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3)])
+        assert degree_histogram(g) == {2: 1, 1: 2}
+
+
+class TestTopKAggregator:
+    def test_top_values(self):
+        agg = TopKAggregator(2)
+        state = agg.zero()
+        for x in [5, 1, 9, 7]:
+            state = agg.add(state, x)
+        assert agg.top(state) == [9, 7]
+
+    def test_retraction_updates_top(self):
+        agg = TopKAggregator(2)
+        state = agg.zero()
+        for x in [5, 1, 9, 7]:
+            state = agg.add(state, x)
+        state = agg.remove(state, 9)
+        assert agg.top(state) == [7, 5]
+
+    def test_multiplicity(self):
+        agg = TopKAggregator(3)
+        state = agg.zero()
+        for x in [4, 4, 2]:
+            state = agg.add(state, x)
+        assert agg.top(state) == [4, 4, 2]
+        state = agg.remove(state, 4)
+        assert agg.top(state) == [4, 2]
+
+    def test_invalid_retraction(self):
+        agg = TopKAggregator(1)
+        with pytest.raises(AggregationError):
+            agg.remove(agg.zero(), 3)
+
+    def test_key_function(self):
+        agg = TopKAggregator(1, key=len)
+        state = agg.add(agg.add(agg.zero(), "abc"), "z")
+        assert agg.top(state) == [3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopKAggregator(0)
+
+    def test_in_stream_pipeline(self):
+        """Top clique sizes per stream, live under retraction."""
+        s = Stream.source()
+        agg = TopKAggregator(2)
+        node = s.agg(agg)
+        for size, sign in [(3, 1), (4, 1), (5, 1), (5, -1)]:
+            s.push(Record(1, sign, size))
+        assert agg.top(node.value(None)) == [4, 3]

@@ -1,0 +1,174 @@
+"""Unit tests for the mining applications (Algorithm 1 and section 6.1)."""
+
+import pytest
+
+from repro.apps import (
+    CliqueMining,
+    GraphKeywordSearch,
+    LabeledCliqueMining,
+    MotifCounting,
+    PathMining,
+    count_motifs,
+)
+from repro.core.engine import TesseractEngine, collect_matches
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.canonical import canonical_form
+from repro.graph.generators import erdos_renyi
+
+from oracles import brute_force_cliques, brute_force_motif_counts
+
+
+class TestCliqueMining:
+    def test_counts_match_oracle(self):
+        g = erdos_renyi(18, 60, seed=11)
+        for k in (3, 4):
+            alg = CliqueMining(k, min_size=k)
+            live = collect_matches(TesseractEngine.run_static(g, alg))
+            assert {vs for vs, _ in live} == brute_force_cliques(g, k)
+
+    def test_varying_sizes_mined_together(self, k4_graph):
+        alg = CliqueMining(4, min_size=2)
+        live = collect_matches(TesseractEngine.run_static(k4_graph, alg))
+        sizes = sorted(len(vs) for vs, _ in live)
+        # 6 edges + 4 triangles + 1 K4
+        assert sizes == [2] * 6 + [3] * 4 + [4]
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            CliqueMining(1)
+
+    def test_name(self):
+        assert CliqueMining(4).name == "4-C"
+        assert LabeledCliqueMining(4).name == "4-CL"
+
+
+class TestLabeledCliques:
+    def test_distinct_labels_required(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        g.set_vertex_label(1, "a")
+        g.set_vertex_label(2, "b")
+        g.set_vertex_label(3, "b")
+        alg = LabeledCliqueMining(3, min_size=3)
+        assert collect_matches(TesseractEngine.run_static(g, alg)) == set()
+        g.set_vertex_label(3, "c")
+        assert len(collect_matches(TesseractEngine.run_static(g, alg))) == 1
+
+    def test_unlabeled_vertices_never_qualify(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        g.set_vertex_label(1, "a")
+        g.set_vertex_label(2, "b")
+        alg = LabeledCliqueMining(3, min_size=3)
+        assert collect_matches(TesseractEngine.run_static(g, alg)) == set()
+
+    def test_more_selective_than_unlabeled(self):
+        g = erdos_renyi(20, 60, seed=5)
+        import random
+
+        rng = random.Random(1)
+        for v in g.vertices():
+            g.set_vertex_label(v, rng.choice("abc"))
+        plain = collect_matches(
+            TesseractEngine.run_static(g, CliqueMining(3, min_size=3))
+        )
+        labeled = collect_matches(
+            TesseractEngine.run_static(g, LabeledCliqueMining(3, min_size=3))
+        )
+        assert labeled <= plain
+
+
+class TestGraphKeywordSearch:
+    def test_figure1_matches(self, figure1):
+        alg = GraphKeywordSearch(["orange", "green", "blue"], k=5)
+        live = collect_matches(TesseractEngine.run_static(figure1, alg))
+        assert {tuple(sorted(vs)) for vs, _ in live} == {
+            (1, 2, 3, 4),
+            (2, 3, 6, 8),
+            (2, 6, 7, 8),
+        }
+
+    def test_minimality_enforced(self):
+        # chain: a(x) - w - b(y); w necessary. With direct edge a-b, the
+        # 3-vertex subgraph is not minimal.
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        g.set_vertex_label(1, "x")
+        g.set_vertex_label(3, "y")
+        alg = GraphKeywordSearch(["x", "y"], k=3)
+        live = collect_matches(TesseractEngine.run_static(g, alg))
+        assert {tuple(sorted(vs)) for vs, _ in live} == {(1, 3)}
+
+    def test_cut_vertex_white_allowed(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        g.set_vertex_label(1, "x")
+        g.set_vertex_label(3, "y")
+        alg = GraphKeywordSearch(["x", "y"], k=3)
+        live = collect_matches(TesseractEngine.run_static(g, alg))
+        assert {tuple(sorted(vs)) for vs, _ in live} == {(1, 2, 3)}
+
+    def test_duplicate_label_pruned(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        g.set_vertex_label(1, "x")
+        g.set_vertex_label(2, "x")
+        g.set_vertex_label(3, "y")
+        alg = GraphKeywordSearch(["x", "y"], k=3)
+        live = collect_matches(TesseractEngine.run_static(g, alg))
+        assert {tuple(sorted(vs)) for vs, _ in live} == {(2, 3)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphKeywordSearch([])
+        with pytest.raises(ValueError):
+            GraphKeywordSearch(["a", "a"])
+
+    def test_name(self):
+        assert GraphKeywordSearch(["a", "b", "c"], k=5).name == "5-GKS-3"
+
+
+class TestPathMining:
+    def test_simple_paths(self, path_graph):
+        alg = PathMining(4, min_size=3)
+        live = collect_matches(TesseractEngine.run_static(path_graph, alg))
+        assert {tuple(sorted(vs)) for vs, _ in live} == {
+            (1, 2, 3),
+            (2, 3, 4),
+            (1, 2, 3, 4),
+        }
+
+    def test_triangle_is_not_a_path(self, triangle_graph):
+        alg = PathMining(3, min_size=3)
+        assert collect_matches(TesseractEngine.run_static(triangle_graph, alg)) == set()
+
+    def test_star_center_excluded(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        alg = PathMining(4, min_size=4)
+        # no simple path with 4 vertices in a star
+        assert collect_matches(TesseractEngine.run_static(g, alg)) == set()
+
+
+class TestMotifCounting:
+    def test_counts_match_oracle(self):
+        g = erdos_renyi(14, 30, seed=2)
+        alg = MotifCounting(3)
+        deltas = TesseractEngine.run_static(g, alg)
+        counts = count_motifs(deltas)
+        assert counts == brute_force_motif_counts(g, 3)
+
+    def test_differential_counts_drop_to_zero(self):
+        from repro.types import MatchDelta, MatchStatus, MatchSubgraph
+
+        sub = MatchSubgraph((1, 2), frozenset({(1, 2)}))
+        deltas = [
+            MatchDelta(1, MatchStatus.NEW, sub),
+            MatchDelta(2, MatchStatus.REM, sub),
+        ]
+        assert count_motifs(deltas) == {}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            MotifCounting(1)
+
+    def test_min_size_filters_small(self, triangle_graph):
+        alg = MotifCounting(3, min_size=3)
+        deltas = TesseractEngine.run_static(triangle_graph, alg)
+        counts = count_motifs(deltas)
+        tri = canonical_form(3, [(0, 1), (1, 2), (0, 2)])
+        assert counts == {tri: 1}

@@ -1,0 +1,115 @@
+"""Unit tests for the ASAP-style estimator and time-based windowing."""
+
+import pytest
+
+from repro.baselines.asap import ApproxPatternCounter, Estimate
+from repro.baselines.static_engine import PatternMatcher
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.pattern import Pattern
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.ingress import IngressNode
+from repro.types import Update
+
+
+class TestApproxCounting:
+    def test_exact_on_single_triangle(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        counter = ApproxPatternCounter(Pattern.clique(3), seed=1)
+        est = counter.estimate(g, trials=20)
+        # every edge sees exactly the one triangle: zero-variance estimator
+        assert est.value == pytest.approx(1.0)
+        assert est.std_error == pytest.approx(0.0)
+
+    def test_estimator_is_unbiased_in_aggregate(self):
+        g = erdos_renyi(30, 120, seed=51)
+        exact = PatternMatcher(Pattern.clique(3), induced=False).count(g)
+        estimates = [
+            ApproxPatternCounter(Pattern.clique(3), seed=s).estimate(g, 60).value
+            for s in range(12)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(exact, rel=0.25)
+
+    def test_error_profile_tightens(self):
+        g = erdos_renyi(30, 120, seed=52)
+        counter = ApproxPatternCounter(Pattern.clique(3), seed=3)
+        profile = counter.error_profile(g, [8, 512])
+        assert profile[512].std_error < profile[8].std_error
+
+    def test_confidence_interval_contains_truth_usually(self):
+        g = erdos_renyi(25, 90, seed=53)
+        exact = PatternMatcher(Pattern.clique(3), induced=False).count(g)
+        hits = 0
+        for seed in range(10):
+            counter = ApproxPatternCounter(Pattern.clique(3), seed=seed)
+            lo, hi = counter.estimate(g, 80).confidence_interval()
+            if lo <= exact <= hi:
+                hits += 1
+        assert hits >= 7  # nominally 95%, generous slack for small samples
+
+    def test_empty_graph(self):
+        counter = ApproxPatternCounter(Pattern.clique(3))
+        est = counter.estimate(AdjacencyGraph(), trials=5)
+        assert est.value == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApproxPatternCounter(Pattern(1, []))
+        counter = ApproxPatternCounter(Pattern.clique(3))
+        with pytest.raises(ValueError):
+            counter.estimate(AdjacencyGraph(), trials=0)
+
+
+class TestTimeWindows:
+    def test_window_closes_on_time(self):
+        clock = {"now": 0.0}
+        store = MultiVersionStore()
+        ingress = IngressNode(
+            store,
+            window_size=1000,
+            window_seconds=5.0,
+            clock=lambda: clock["now"],
+        )
+        ingress.submit(Update.add_edge(1, 2))
+        assert ingress.windows_applied == 0
+        clock["now"] = 6.0
+        ingress.submit(Update.add_edge(2, 3))
+        assert ingress.windows_applied == 1  # time limit hit
+        assert store.edge_alive_at(1, 2, 1)
+
+    def test_size_limit_still_applies(self):
+        clock = {"now": 0.0}
+        store = MultiVersionStore()
+        ingress = IngressNode(
+            store, window_size=2, window_seconds=100.0, clock=lambda: clock["now"]
+        )
+        ingress.submit(Update.add_edge(1, 2))
+        ingress.submit(Update.add_edge(2, 3))
+        assert ingress.windows_applied == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IngressNode(MultiVersionStore(), window_seconds=0)
+
+    def test_explicit_close_window(self):
+        store = MultiVersionStore()
+        ingress = IngressNode(store, window_size=1000)
+        assert not ingress.close_window()  # nothing buffered
+        ingress.submit(Update.add_edge(1, 2))
+        assert ingress.close_window()
+        assert store.edge_alive_at(1, 2, 1)
+        assert not ingress.close_window()
+
+    def test_timer_resets_per_window(self):
+        clock = {"now": 0.0}
+        store = MultiVersionStore()
+        ingress = IngressNode(
+            store, window_size=1000, window_seconds=5.0, clock=lambda: clock["now"]
+        )
+        ingress.submit(Update.add_edge(1, 2))
+        clock["now"] = 6.0
+        ingress.submit(Update.add_edge(2, 3))  # closes window 1
+        clock["now"] = 8.0
+        ingress.submit(Update.add_edge(3, 4))  # only 2s into window 2
+        assert ingress.windows_applied == 1

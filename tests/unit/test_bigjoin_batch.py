@@ -1,0 +1,82 @@
+"""Unit tests for Delta-BigJoin's batched delta-query mode."""
+
+import pytest
+
+from repro.baselines.deltabigjoin import DeltaBigJoin
+from repro.core.engine import collect_matches
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.generators import erdos_renyi, shuffled_edges
+from repro.graph.pattern import Pattern
+
+
+class TestBatchMode:
+    def test_single_batch_equals_stream(self):
+        g = erdos_renyi(14, 38, seed=90)
+        edges = shuffled_edges(g, seed=1)
+        stream_live = collect_matches(
+            DeltaBigJoin(Pattern.clique(3)).process_stream(
+                [(e, True) for e in edges]
+            )
+        )
+        batch_graph = AdjacencyGraph()
+        batch_live = collect_matches(
+            DeltaBigJoin(Pattern.clique(3)).process_batch(
+                batch_graph, [(e, True) for e in edges]
+            )
+        )
+        assert batch_live == stream_live
+
+    def test_sequence_of_batches(self):
+        g = erdos_renyi(14, 38, seed=91)
+        edges = shuffled_edges(g, seed=2)
+        dbj = DeltaBigJoin(Pattern.clique(3))
+        state = AdjacencyGraph()
+        deltas = []
+        for i in range(0, len(edges), 7):
+            deltas.extend(
+                dbj.process_batch(state, [(e, True) for e in edges[i : i + 7]], ts=i)
+            )
+        live = collect_matches(deltas)
+        expected = collect_matches(
+            DeltaBigJoin(Pattern.clique(3)).process_stream(
+                [(e, True) for e in edges]
+            )
+        )
+        assert live == expected
+
+    def test_mixed_add_delete_batch(self):
+        # triangle (1,2,3) exists; the batch deletes (1,2) and adds (1,4),
+        # (2,4): the old triangle dies, and two new ones appear — (1,3,4)
+        # via the added (1,4), and (2,3,4) via the added (2,4).
+        state = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        dbj = DeltaBigJoin(Pattern.clique(3))
+        batch = [((1, 2), False), ((1, 4), True), ((2, 4), True)]
+        deltas = dbj.process_batch(state, batch)
+        rems = {frozenset(d.subgraph.vertices) for d in deltas if d.is_rem()}
+        news = {frozenset(d.subgraph.vertices) for d in deltas if d.is_new()}
+        assert rems == {frozenset({1, 2, 3})}
+        assert news == {frozenset({1, 3, 4}), frozenset({2, 3, 4})}
+
+    def test_match_spanning_two_batch_updates_found_once(self):
+        state = AdjacencyGraph.from_edges([(2, 3)])
+        dbj = DeltaBigJoin(Pattern.clique(3))
+        deltas = dbj.process_batch(state, [((1, 2), True), ((1, 3), True)])
+        assert len(deltas) == 1
+        assert deltas[0].is_new()
+
+    def test_noop_updates_ignored(self):
+        state = AdjacencyGraph.from_edges([(1, 2)])
+        dbj = DeltaBigJoin(Pattern.clique(3))
+        deltas = dbj.process_batch(
+            state, [((1, 2), True), ((5, 6), False)]  # both no-ops
+        )
+        assert deltas == []
+        assert state.has_edge(1, 2)
+
+    def test_graph_mutated_to_post_state(self):
+        state = AdjacencyGraph.from_edges([(1, 2)])
+        DeltaBigJoin(Pattern.clique(3)).process_batch(
+            state, [((2, 3), True), ((1, 2), False)]
+        )
+        assert state.has_edge(2, 3)
+        assert not state.has_edge(1, 2)

@@ -1,0 +1,142 @@
+"""Unit tests for the bitset adjacency matrix."""
+
+import pytest
+
+from repro.graph.bitset import BitMatrix
+
+
+class TestConstruction:
+    def test_empty(self):
+        m = BitMatrix()
+        assert len(m) == 0
+        assert m.num_edges() == 0
+
+    def test_from_edges(self):
+        m = BitMatrix.from_edges(3, iter([(0, 1), (1, 2)]))
+        assert m.has_edge(0, 1)
+        assert m.has_edge(1, 2)
+        assert not m.has_edge(0, 2)
+
+    def test_copy_is_independent(self):
+        m = BitMatrix.from_edges(3, iter([(0, 1)]))
+        c = m.copy()
+        c.set_edge(0, 2)
+        assert not m.has_edge(0, 2)
+        assert c.has_edge(0, 2)
+
+
+class TestExpandBacktrack:
+    def test_append_row_connects_named_slots(self):
+        m = BitMatrix()
+        m.append_row(0)
+        m.append_row(0b1)  # slot 1 adjacent to slot 0
+        m.append_row(0b10)  # slot 2 adjacent to slot 1 only
+        assert m.has_edge(0, 1)
+        assert m.has_edge(1, 2)
+        assert not m.has_edge(0, 2)
+
+    def test_append_row_rejects_future_slots(self):
+        m = BitMatrix()
+        m.append_row(0)
+        with pytest.raises(ValueError):
+            m.append_row(0b10)  # references slot 1 which does not exist
+
+    def test_pop_row_restores_previous_state(self):
+        m = BitMatrix()
+        m.append_row(0)
+        m.append_row(0b1)
+        snapshot = m.copy()
+        m.append_row(0b11)
+        m.pop_row()
+        assert m == snapshot
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BitMatrix().pop_row()
+
+    def test_deep_expand_backtrack_roundtrip(self):
+        m = BitMatrix()
+        m.append_row(0)
+        states = [m.copy()]
+        for i in range(1, 8):
+            m.append_row((1 << i) - 1)  # fully connect
+            states.append(m.copy())
+        for i in reversed(range(1, 8)):
+            assert m == states[i]
+            m.pop_row()
+        assert m == states[0]
+
+
+class TestEdgeOps:
+    def test_set_clear_edge(self):
+        m = BitMatrix([0, 0, 0])
+        m.set_edge(0, 2)
+        assert m.has_edge(2, 0)
+        m.clear_edge(2, 0)
+        assert not m.has_edge(0, 2)
+
+    def test_self_loop_rejected(self):
+        m = BitMatrix([0, 0])
+        with pytest.raises(ValueError):
+            m.set_edge(1, 1)
+
+    def test_out_of_range(self):
+        m = BitMatrix([0])
+        with pytest.raises(IndexError):
+            m.has_edge(0, 3)
+
+    def test_edges_iteration(self):
+        m = BitMatrix.from_edges(4, iter([(0, 3), (1, 2), (0, 1)]))
+        assert sorted(m.edges()) == [(0, 1), (0, 3), (1, 2)]
+
+
+class TestBulkQueries:
+    def test_degree(self):
+        m = BitMatrix.from_edges(4, iter([(0, 1), (0, 2), (0, 3)]))
+        assert m.degree(0) == 3
+        assert m.degree(1) == 1
+
+    def test_num_edges_triangle(self):
+        m = BitMatrix.from_edges(3, iter([(0, 1), (1, 2), (0, 2)]))
+        assert m.num_edges() == 3
+
+    def test_single_vertex_connected(self):
+        m = BitMatrix([0])
+        assert m.is_connected()
+
+    def test_empty_not_connected(self):
+        assert not BitMatrix().is_connected()
+
+    def test_disconnected_pair(self):
+        assert not BitMatrix([0, 0]).is_connected()
+
+    def test_connected_path(self):
+        m = BitMatrix.from_edges(4, iter([(0, 1), (1, 2), (2, 3)]))
+        assert m.is_connected()
+
+    def test_two_components(self):
+        m = BitMatrix.from_edges(4, iter([(0, 1), (2, 3)]))
+        assert not m.is_connected()
+
+    def test_connected_without_cut_vertex(self):
+        # path 0-1-2: removing middle disconnects
+        m = BitMatrix.from_edges(3, iter([(0, 1), (1, 2)]))
+        assert not m.is_connected_without(1)
+        assert m.is_connected_without(0)
+        assert m.is_connected_without(2)
+
+    def test_connected_without_in_cycle(self):
+        m = BitMatrix.from_edges(4, iter([(0, 1), (1, 2), (2, 3), (0, 3)]))
+        for i in range(4):
+            assert m.is_connected_without(i)
+
+    def test_connected_without_two_slots(self):
+        m = BitMatrix.from_edges(2, iter([(0, 1)]))
+        assert m.is_connected_without(0)
+
+    def test_hash_eq(self):
+        a = BitMatrix.from_edges(3, iter([(0, 1)]))
+        b = BitMatrix.from_edges(3, iter([(0, 1)]))
+        assert a == b and hash(a) == hash(b)
+        b.set_edge(1, 2)
+        assert a != b

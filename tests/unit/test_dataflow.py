@@ -1,0 +1,225 @@
+"""Unit tests for the differential stream operators (Table 2)."""
+
+import pytest
+
+from repro.dataflow import MOTIF
+from repro.dataflow.aggregation import (
+    CountAggregator,
+    MeanAggregator,
+    SumAggregator,
+)
+from repro.dataflow.stream import Record, Stream
+from repro.errors import AggregationError, DataflowError
+from repro.types import MatchDelta, MatchStatus, MatchSubgraph
+
+
+def rec(value, sign=1, ts=1):
+    return Record(ts, sign, value)
+
+
+class TestRecord:
+    def test_sign_validation(self):
+        with pytest.raises(DataflowError):
+            Record(1, 0, "x")
+
+    def test_with_value(self):
+        r = rec("a", sign=-1, ts=3).with_value("b")
+        assert r.value == "b" and r.sign == -1 and r.timestamp == 3
+
+
+class TestMapFilterFlatMap:
+    def test_map(self):
+        s = Stream.source()
+        out = s.map(lambda x: x * 2).to_list()
+        s.push(rec(3))
+        assert out.values() == [6]
+
+    def test_filter(self):
+        s = Stream.source()
+        out = s.filter(lambda x: x % 2 == 0).to_list()
+        s.push_all([rec(1), rec(2), rec(3), rec(4)])
+        assert out.values() == [2, 4]
+
+    def test_flat_map(self):
+        s = Stream.source()
+        out = s.flat_map(lambda x: range(x)).to_list()
+        s.push(rec(3))
+        assert out.values() == [0, 1, 2]
+
+    def test_sign_preserved_through_map(self):
+        s = Stream.source()
+        out = s.map(lambda x: x + 1).to_list()
+        s.push(rec(1, sign=-1))
+        assert out.records[0].sign == -1
+
+    def test_chaining(self):
+        s = Stream.source()
+        out = s.map(lambda x: x * 2).filter(lambda x: x > 4).to_list()
+        s.push_all([rec(1), rec(2), rec(3)])
+        assert out.values() == [6]
+
+
+class TestCount:
+    def test_differential_count(self):
+        s = Stream.source()
+        c = s.count()
+        s.push_all([rec("a"), rec("b"), rec("a", sign=-1)])
+        assert c.value() == 1
+
+    def test_count_retraction_below_zero(self):
+        s = Stream.source()
+        s.count()
+        with pytest.raises(AggregationError):
+            s.push(rec("a", sign=-1))
+
+
+class TestGroupBy:
+    def test_group_counts(self):
+        s = Stream.source()
+        g = s.group_by(lambda x: x % 2).count()
+        s.push_all([rec(1), rec(2), rec(3), rec(4), rec(5)])
+        assert g.state() == {1: 3, 0: 2}
+
+    def test_zero_groups_dropped(self):
+        s = Stream.source()
+        g = s.group_by(lambda x: x).count()
+        s.push(rec("k"))
+        s.push(rec("k", sign=-1))
+        assert g.state() == {}
+
+    def test_group_agg_sum(self):
+        s = Stream.source()
+        g = s.group_by(lambda x: x[0]).agg(SumAggregator(key=lambda x: x[1]))
+        s.push_all([rec(("a", 2)), rec(("a", 3)), rec(("b", 5))])
+        assert g.state() == {"a": 5, "b": 5}
+        s.push(rec(("a", 2), sign=-1))
+        assert g["a"] == 3
+
+    def test_downstream_of_aggregate(self):
+        """AggregateNode emits (key, state) records for cascading."""
+        s = Stream.source()
+        changes = s.group_by(lambda x: x).count().to_list()
+        s.push_all([rec("a"), rec("a")])
+        assert changes.values() == [("a", 1), ("a", 2)]
+
+
+class TestJoins:
+    def test_table_join(self):
+        s = Stream.source()
+        table = {1: "one", 2: "two"}
+        out = s.join_table(table, key=lambda x: x).to_list()
+        s.push_all([rec(1), rec(3), rec(2)])
+        assert out.values() == [(1, "one"), (2, "two")]
+
+    def test_stream_join_basic(self):
+        left, right = Stream.source(), Stream.source()
+        joined = left.join(right, key=lambda x: x[0]).to_list()
+        left.push(rec(("k", "L1")))
+        right.push(rec(("k", "R1")))
+        assert joined.values() == [(("k", "L1"), ("k", "R1"))]
+
+    def test_stream_join_retraction(self):
+        left, right = Stream.source(), Stream.source()
+        joined = left.join(right, key=lambda x: x[0]).to_list()
+        left.push(rec(("k", "L1")))
+        right.push(rec(("k", "R1")))
+        left.push(rec(("k", "L1"), sign=-1))
+        assert joined.net_values() == {}
+
+    def test_stream_join_multiplicity(self):
+        left, right = Stream.source(), Stream.source()
+        joined = left.join(right, key=lambda x: x[0]).to_list()
+        left.push(rec(("k", "L1")))
+        left.push(rec(("k", "L2")))
+        right.push(rec(("k", "R")))
+        assert len(joined.net_values()) == 2
+
+    def test_join_different_keys(self):
+        left, right = Stream.source(), Stream.source()
+        joined = left.join(
+            right, key=lambda x: x * 2, other_key=lambda y: y
+        ).to_list()
+        left.push(rec(3))
+        right.push(rec(6))
+        assert joined.values() == [(3, 6)]
+
+
+class TestMotifPipeline:
+    def test_groupby_motif_count(self):
+        """The paper's one-liner: GROUPBY(MOTIF).COUNT()."""
+        s = Stream.source()
+        counts = s.group_by(lambda sub: MOTIF(sub)).count()
+        tri = MatchSubgraph((1, 2, 3), frozenset({(1, 2), (2, 3), (1, 3)}))
+        wedge = MatchSubgraph((4, 5, 6), frozenset({(4, 5), (5, 6)}))
+        s.push_deltas(
+            [
+                MatchDelta(1, MatchStatus.NEW, tri),
+                MatchDelta(1, MatchStatus.NEW, wedge),
+                MatchDelta(2, MatchStatus.REM, wedge),
+            ]
+        )
+        state = counts.state()
+        assert len(state) == 1
+        assert list(state.values()) == [1]
+
+    def test_for_each_side_effect(self):
+        seen = []
+        s = Stream.source()
+        s.for_each(lambda r: seen.append(r.value))
+        s.push(rec("x"))
+        assert seen == ["x"]
+
+
+class TestAggregators:
+    def test_count_aggregator(self):
+        a = CountAggregator()
+        state = a.add(a.zero(), "v")
+        assert state == 1
+        assert a.remove(state, "v") == 0
+        with pytest.raises(AggregationError):
+            a.remove(0, "v")
+
+    def test_sum_aggregator(self):
+        a = SumAggregator()
+        assert a.add(a.zero(), 5) == 5
+        assert a.remove(5, 2) == 3
+
+    def test_mean_aggregator(self):
+        a = MeanAggregator()
+        state = a.add(a.add(a.zero(), 2), 4)
+        assert MeanAggregator.value(state) == 3.0
+        state = a.remove(state, 2)
+        assert MeanAggregator.value(state) == 4.0
+        with pytest.raises(AggregationError):
+            a.remove(a.zero(), 1)
+
+    def test_mean_zero(self):
+        assert MeanAggregator.value((0, 0)) == 0.0
+
+
+class TestDistinct:
+    def test_first_occurrence_emits_once(self):
+        s = Stream.source()
+        out = s.distinct().to_list()
+        s.push_all([rec("a"), rec("a"), rec("b")])
+        assert out.values() == ["a", "b"]
+
+    def test_retraction_only_on_last_copy(self):
+        s = Stream.source()
+        out = s.distinct().to_list()
+        s.push_all([rec("a"), rec("a"), rec("a", sign=-1)])
+        assert [r.sign for r in out.records] == [1]
+        s.push(rec("a", sign=-1))
+        assert [r.sign for r in out.records] == [1, -1]
+
+    def test_downstream_count_is_set_cardinality(self):
+        s = Stream.source()
+        count = s.distinct().count()
+        s.push_all([rec("x"), rec("x"), rec("y"), rec("x", sign=-1)])
+        assert count.value() == 2
+
+    def test_invalid_retraction(self):
+        s = Stream.source()
+        s.distinct()
+        with pytest.raises(DataflowError):
+            s.push(rec("never", sign=-1))

@@ -1,0 +1,100 @@
+"""Unit tests for the micro-batch driver and the churn stream generator."""
+
+import pytest
+
+from repro.apps import CliqueMining
+from repro.core.engine import TesseractEngine, collect_matches
+from repro.graph.generators import churn_stream, erdos_renyi
+from repro.runtime.coordinator import TesseractSystem
+from repro.runtime.driver import StreamDriver
+from repro.types import Update, UpdateKind
+
+
+class TestChurnStream:
+    def test_stream_is_valid(self):
+        g = erdos_renyi(12, 30, seed=70)
+        present = set()
+        for update in churn_stream(g, 200, churn=0.3, seed=1):
+            key = (min(update.src, update.dst), max(update.src, update.dst))
+            if update.kind is UpdateKind.ADD_EDGE:
+                assert key not in present
+                present.add(key)
+            else:
+                assert key in present
+                present.remove(key)
+
+    def test_deterministic(self):
+        g = erdos_renyi(10, 20, seed=71)
+        a = [(u.kind, u.src, u.dst) for u in churn_stream(g, 60, seed=2)]
+        b = [(u.kind, u.src, u.dst) for u in churn_stream(g, 60, seed=2)]
+        assert a == b
+
+    def test_length(self):
+        g = erdos_renyi(10, 20, seed=72)
+        assert sum(1 for _ in churn_stream(g, 75, churn=0.4, seed=3)) == 75
+
+    def test_zero_churn_is_pure_additions(self):
+        g = erdos_renyi(10, 20, seed=73)
+        updates = list(churn_stream(g, 20, churn=0.0, seed=4))
+        assert all(u.kind is UpdateKind.ADD_EDGE for u in updates)
+
+    def test_validation(self):
+        g = erdos_renyi(5, 5, seed=74)
+        with pytest.raises(ValueError):
+            list(churn_stream(g, 10, churn=1.0))
+
+
+class TestStreamDriver:
+    def test_drains_sources_and_counts(self):
+        g = erdos_renyi(14, 35, seed=75)
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=5)
+        driver = StreamDriver(system, batch_size=10)
+        report = driver.run([churn_stream(g, 80, churn=0.25, seed=5)])
+        assert report.total_updates == 80
+        assert len(report.batches) == 8
+        assert report.total_seconds > 0
+        assert report.throughput > 0
+        # the delta stream stays consistent through churn
+        collect_matches(system.deltas())
+
+    def test_incremental_state_matches_recompute(self):
+        g = erdos_renyi(14, 35, seed=76)
+        system = TesseractSystem(CliqueMining(3, min_size=3), window_size=7)
+        StreamDriver(system, batch_size=16).run(
+            [churn_stream(g, 120, churn=0.3, seed=6)]
+        )
+        live = collect_matches(system.deltas())
+        expected = collect_matches(
+            TesseractEngine.run_static(
+                system.snapshot(), CliqueMining(3, min_size=3)
+            )
+        )
+        assert live == expected
+
+    def test_multiple_sources_round_robin(self):
+        system = TesseractSystem(CliqueMining(3), window_size=3)
+        source_a = [Update.add_edge(1, 2), Update.add_edge(2, 3)]
+        source_b = [Update.add_edge(1, 3)]
+        report = StreamDriver(system, batch_size=2).run([source_a, source_b])
+        assert report.total_updates == 3
+        assert system.snapshot().num_edges() == 3
+
+    def test_max_batches_bounds_run(self):
+        g = erdos_renyi(10, 20, seed=77)
+        system = TesseractSystem(CliqueMining(3), window_size=5)
+        report = StreamDriver(system, batch_size=5).run(
+            [churn_stream(g, 1000, seed=7)], max_batches=3
+        )
+        assert len(report.batches) == 3
+        assert report.total_updates == 15
+
+    def test_empty_sources(self):
+        system = TesseractSystem(CliqueMining(3), window_size=5)
+        report = StreamDriver(system, batch_size=5).run([[]])
+        assert report.batches == []
+        assert report.mean_batch_latency() == 0.0
+
+    def test_batch_size_validation(self):
+        system = TesseractSystem(CliqueMining(3))
+        with pytest.raises(ValueError):
+            StreamDriver(system, batch_size=0)

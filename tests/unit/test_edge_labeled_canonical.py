@@ -1,0 +1,93 @@
+"""Unit tests for edge-labeled canonical forms and edge-labeled FSM identity."""
+
+import itertools
+
+import pytest
+
+from repro.graph.canonical import (
+    automorphism_orbits,
+    canonical_form,
+    motif_of,
+)
+from repro.types import MatchSubgraph
+
+
+class TestEdgeLabeledForms:
+    def test_relabeling_invariance(self):
+        edges = [(0, 1), (1, 2)]
+        elabels = {(0, 1): "s", (1, 2): "w"}
+        base = canonical_form(3, edges, edge_labels=elabels)
+        for perm in itertools.permutations(range(3)):
+            new_edges = [(perm[i], perm[j]) for i, j in edges]
+            new_elabels = {}
+            for (i, j), lab in elabels.items():
+                a, b = perm[i], perm[j]
+                new_elabels[(a, b) if a < b else (b, a)] = lab
+            assert canonical_form(3, new_edges, edge_labels=new_elabels) == base
+
+    def test_edge_labels_distinguish(self):
+        edges = [(0, 1), (1, 2)]
+        a = canonical_form(3, edges, edge_labels={(0, 1): "s", (1, 2): "s"})
+        b = canonical_form(3, edges, edge_labels={(0, 1): "s", (1, 2): "w"})
+        assert a != b
+
+    def test_unlabeled_edges_unchanged(self):
+        a = canonical_form(3, [(0, 1), (1, 2)])
+        assert a.edge_labels == ()
+
+    def test_symmetric_swap_same_form(self):
+        # path s-w vs path w-s are isomorphic via the flip
+        a = canonical_form(3, [(0, 1), (1, 2)], edge_labels={(0, 1): "s", (1, 2): "w"})
+        b = canonical_form(3, [(0, 1), (1, 2)], edge_labels={(0, 1): "w", (1, 2): "s"})
+        assert a == b
+
+    def test_label_on_missing_edge_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_form(3, [(0, 1)], edge_labels={(1, 2): "x"})
+
+    def test_triangle_orbit_split_by_edge_labels(self):
+        # uniform triangle: one vertex orbit
+        uniform = canonical_form(
+            3, [(0, 1), (1, 2), (0, 2)],
+            edge_labels={(0, 1): "s", (1, 2): "s", (0, 2): "s"},
+        )
+        assert len(set(automorphism_orbits(uniform))) == 1
+        # one weak edge: its two endpoints form an orbit, the apex another
+        mixed = canonical_form(
+            3, [(0, 1), (1, 2), (0, 2)],
+            edge_labels={(0, 1): "w", (1, 2): "s", (0, 2): "s"},
+        )
+        assert len(set(automorphism_orbits(mixed))) == 2
+
+    def test_mixed_vertex_and_edge_labels(self):
+        form = canonical_form(
+            2, [(0, 1)], labels=["a", "b"], edge_labels={(0, 1): "x"}
+        )
+        assert form.labels in (("a", "b"), ("b", "a"))
+        assert form.edge_labels == (((0, 1), "x"),)
+
+
+class TestMotifOfEdgeLabels:
+    def test_motif_of_with_edge_labels(self):
+        match = MatchSubgraph(
+            vertices=(10, 20, 30),
+            edges=frozenset({(10, 20), (20, 30)}),
+            vertex_labels=(None, None, None),
+            edge_labels=(((10, 20), "s"), ((20, 30), "w")),
+        )
+        form = motif_of(match, with_edge_labels=True)
+        assert len(form.edge_labels) == 2
+        plain = motif_of(match)
+        assert plain.edge_labels == ()
+        assert form != plain
+
+    def test_two_matches_same_edge_label_shape(self):
+        m1 = MatchSubgraph(
+            (1, 2), frozenset({(1, 2)}), (None, None), (((1, 2), "s"),)
+        )
+        m2 = MatchSubgraph(
+            (7, 9), frozenset({(7, 9)}), (None, None), (((7, 9), "s"),)
+        )
+        assert motif_of(m1, with_edge_labels=True) == motif_of(
+            m2, with_edge_labels=True
+        )

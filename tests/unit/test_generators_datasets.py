@@ -1,0 +1,149 @@
+"""Unit tests for graph generators and dataset stand-ins."""
+
+import pytest
+
+from repro.graph.datasets import (
+    GKS_LABELS,
+    dataset_names,
+    dataset_spec,
+    figure1_graph,
+    figure1_updates,
+    load_dataset,
+)
+from repro.graph.generators import (
+    assign_labels,
+    barabasi_albert,
+    erdos_renyi,
+    planted_communities,
+    rmat,
+    shuffled_edges,
+)
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert(100, 3, seed=1)
+        assert g.num_vertices() == 100
+        assert g.num_edges() >= 3 * 90  # ~3 per non-core vertex
+
+    def test_deterministic(self):
+        a = barabasi_albert(50, 2, seed=7)
+        b = barabasi_albert(50, 2, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = barabasi_albert(50, 2, seed=1)
+        b = barabasi_albert(50, 2, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(300, 2, seed=3)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        # hubs exist: top degree much larger than median
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(0, 1)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(20, 50, seed=1)
+        assert g.num_edges() == 50
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(3, 10)
+
+
+class TestRmat:
+    def test_edge_count_close(self):
+        g = rmat(8, 300, seed=2)
+        assert g.num_edges() == 300
+
+    def test_skewed_degrees(self):
+        g = rmat(9, 800, seed=4)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] > 3 * degrees[len(degrees) // 2]
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            rmat(4, 10, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestPlantedCommunities:
+    def test_structure(self):
+        g = planted_communities(4, 10, intra_edges=20, inter_edges=5, seed=1)
+        assert g.num_vertices() == 40
+        assert g.num_edges() == 4 * 20 + 5
+
+
+class TestLabeling:
+    def test_fraction_labeled(self):
+        g = erdos_renyi(80, 100, seed=1)
+        assign_labels(g, ["a", "b"], fraction_labeled=0.25, seed=2)
+        labeled = sum(1 for v in g.vertices() if g.vertex_label(v) is not None)
+        assert labeled == 20
+
+    def test_validation(self):
+        g = erdos_renyi(10, 10, seed=1)
+        with pytest.raises(ValueError):
+            assign_labels(g, [])
+        with pytest.raises(ValueError):
+            assign_labels(g, ["a"], fraction_labeled=2.0)
+
+
+class TestShuffledEdges:
+    def test_permutation_of_edges(self):
+        g = erdos_renyi(15, 30, seed=5)
+        sh = shuffled_edges(g, seed=9)
+        assert sorted(sh) == g.sorted_edges()
+
+    def test_deterministic(self):
+        g = erdos_renyi(15, 30, seed=5)
+        assert shuffled_edges(g, seed=9) == shuffled_edges(g, seed=9)
+
+
+class TestDatasets:
+    def test_names(self):
+        assert set(dataset_names()) == {"lj-sim", "uk-sim", "dc-sim"}
+
+    def test_spec_lookup(self):
+        spec = dataset_spec("lj-sim")
+        assert spec.paper_name.startswith("LiveJournal")
+        with pytest.raises(KeyError):
+            dataset_spec("nope")
+
+    def test_load_plain(self):
+        g = load_dataset("lj-sim")
+        assert g.num_vertices() > 500
+
+    def test_load_labeled_eighth(self):
+        g = load_dataset("lj-sim", labeled=True)
+        labeled = sum(1 for v in g.vertices() if g.vertex_label(v) is not None)
+        assert labeled == g.num_vertices() // 8
+
+    def test_relative_sizes_match_paper_order(self):
+        lj = load_dataset("lj-sim")
+        uk = load_dataset("uk-sim")
+        dc = load_dataset("dc-sim")
+        assert lj.num_edges() < uk.num_edges() < dc.num_edges()
+
+    def test_gks_labels(self):
+        assert tuple(GKS_LABELS) == ("orange", "green", "blue")
+
+
+class TestFigure1:
+    def test_graph_shape(self):
+        g = figure1_graph()
+        assert g.num_vertices() == 8
+        assert g.num_edges() == 7
+        assert g.vertex_label(1) == "orange"
+        assert g.vertex_label(4) is None
+
+    def test_updates(self):
+        ups = figure1_updates()
+        assert len(ups) == 3
+        kinds = [u.kind.value for u in ups]
+        assert kinds == ["add_edge", "add_edge", "delete_edge"]

@@ -1,0 +1,191 @@
+"""Unit tests for the ingress node: sanitization, windowing, translation."""
+
+import pytest
+
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.ingress import IngressNode
+from repro.streaming.queue import WorkQueue
+from repro.types import Update
+
+
+def make_ingress(window_size=2):
+    store = MultiVersionStore()
+    queue = WorkQueue()
+    return store, queue, IngressNode(store, queue, window_size=window_size)
+
+
+class TestWindowing:
+    def test_window_closes_at_size(self):
+        store, queue, ing = make_ingress(window_size=2)
+        ing.submit(Update.add_edge(1, 2))
+        assert queue.total_appended() == 0
+        ing.submit(Update.add_edge(3, 4))
+        assert queue.total_appended() == 2
+        assert ing.windows_applied == 1
+
+    def test_updates_share_window_timestamp(self):
+        store, queue, ing = make_ingress(window_size=3)
+        for e in [(1, 2), (3, 4), (5, 6)]:
+            ing.submit(Update.add_edge(*e))
+        items = [queue.poll() for _ in range(3)]
+        assert {i.timestamp for i in items} == {1}
+
+    def test_flush_closes_partial_window(self):
+        store, queue, ing = make_ingress(window_size=100)
+        ing.submit(Update.add_edge(1, 2))
+        ing.flush()
+        assert queue.total_appended() == 1
+        assert store.edge_alive_at(1, 2, 1)
+
+    def test_timestamps_increase_per_window(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.add_edge(3, 4))
+        offsets = [queue.poll().timestamp for _ in range(2)]
+        assert offsets == [1, 2]
+
+    def test_window_size_validation(self):
+        with pytest.raises(ValueError):
+            IngressNode(MultiVersionStore(), window_size=0)
+
+
+class TestSanitization:
+    def test_duplicate_add_dropped(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.add_edge(1, 2))
+        ing.flush()
+        assert queue.total_appended() == 1
+        assert ing.updates_dropped == 1
+
+    def test_duplicate_add_within_window_dropped(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.add_edge(2, 1))
+        ing.flush()
+        assert queue.total_appended() == 1
+
+    def test_delete_of_missing_dropped(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.delete_edge(1, 2))
+        ing.flush()
+        assert queue.total_appended() == 0
+        assert ing.updates_dropped == 1
+
+    def test_add_then_delete_same_window_cancels(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.delete_edge(1, 2))
+        ing.flush()
+        assert queue.total_appended() == 0
+        assert not store.edge_alive_at(1, 2, 1)
+
+    def test_delete_then_add_spans_two_windows(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.flush()  # edge exists at ts=1
+        ing.submit(Update.delete_edge(1, 2))
+        ing.submit(Update.add_edge(1, 2))
+        ing.flush()
+        assert not store.edge_alive_at(1, 2, 2)  # deleted in window 2
+        assert store.edge_alive_at(1, 2, 3)  # re-added in window 3
+
+    def test_delete_cancels_deferred_readd(self):
+        """delete, add, delete in one window leaves the edge deleted."""
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.flush()
+        ing.submit(Update.delete_edge(1, 2))
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.delete_edge(1, 2))
+        ing.flush()
+        assert not store.edge_alive_at(1, 2, store.latest_timestamp)
+
+    def test_add_after_deferred_readd_dropped(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.flush()
+        ing.submit(Update.delete_edge(1, 2))
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.add_edge(1, 2))  # duplicate of the deferred re-add
+        ing.flush()
+        assert store.edge_alive_at(1, 2, store.latest_timestamp)
+        assert store.tombstone_count() == 1
+
+
+class TestVertexUpdates:
+    def test_add_vertex_with_label(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.add_vertex(7, label="x"))
+        ing.submit(Update.add_edge(7, 8))
+        ing.flush()
+        assert store.has_vertex(7)
+        assert store.vertex_label_at(7, store.latest_timestamp) == "x"
+
+    def test_delete_vertex_deletes_incident_edges(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.add_edge(1, 3))
+        ing.flush()
+        ing.submit(Update.delete_vertex(1))
+        ing.flush()
+        ts = store.latest_timestamp
+        assert not store.edge_alive_at(1, 2, ts)
+        assert not store.edge_alive_at(1, 3, ts)
+
+    def test_delete_unknown_vertex_dropped(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.delete_vertex(42))
+        assert ing.updates_dropped == 1
+
+
+class TestLabelUpdates:
+    def test_vertex_relabel_deletes_and_readds_edges(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2))
+        ing.submit(Update.add_edge(1, 3))
+        ing.flush()  # ts=1
+        ing.submit(Update.set_vertex_label(1, "red"))
+        ing.flush()  # delete window ts=2, re-add window ts=3
+        assert not store.edge_alive_at(1, 2, 2)
+        assert store.edge_alive_at(1, 2, 3)
+        assert store.edge_alive_at(1, 3, 3)
+        assert store.vertex_label_at(1, 2) == "red"
+
+    def test_edge_relabel(self):
+        store, queue, ing = make_ingress(window_size=10)
+        ing.submit(Update.add_edge(1, 2, label="old"))
+        ing.flush()
+        ing.submit(Update.set_edge_label(1, 2, "new"))
+        ing.flush()
+        ts = store.latest_timestamp
+        assert store.edge_label_at(1, 2, ts) == "new"
+        assert store.edge_label_at(1, 2, 1) == "old"
+
+    def test_edge_relabel_missing_dropped(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.set_edge_label(1, 2, "x"))
+        assert ing.updates_dropped == 1
+
+    def test_relabel_isolated_vertex(self):
+        store, queue, ing = make_ingress(window_size=1)
+        ing.submit(Update.add_vertex(5))
+        ing.submit(Update.set_vertex_label(5, "z"))
+        ing.flush()
+        assert store.vertex_label_at(5, store.latest_timestamp) == "z"
+
+
+class TestGC:
+    def test_gc_runs_when_enabled(self):
+        store = MultiVersionStore()
+        queue = WorkQueue()
+        ing = IngressNode(store, queue, window_size=1, gc_enabled=True)
+        ing.submit(Update.add_edge(1, 2))
+        item = queue.poll()
+        queue.ack(item.offset)
+        ing.submit(Update.delete_edge(1, 2))
+        item = queue.poll()
+        queue.ack(item.offset)
+        # Next window triggers GC with watermark at the delete's ts.
+        ing.submit(Update.add_edge(3, 4))
+        assert ing.gc_reclaimed >= 1

@@ -1,0 +1,249 @@
+"""Unit tests for the multiversioned graph store."""
+
+import pytest
+
+from repro.errors import InvalidUpdateError, UnknownVertexError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.store.gc import collect_garbage
+from repro.store.mvstore import EdgeInterval, MultiVersionStore
+from repro.store.snapshot import ExplorationView, SnapshotView
+
+
+class TestEdgeIntervals:
+    def test_alive_window(self):
+        iv = EdgeInterval(added_ts=2, deleted_ts=5)
+        assert not iv.alive_at(1)
+        assert iv.alive_at(2)
+        assert iv.alive_at(4)
+        assert not iv.alive_at(5)
+
+    def test_open_interval(self):
+        iv = EdgeInterval(added_ts=3)
+        assert iv.alive_at(100)
+        assert not iv.alive_at(2)
+
+    def test_updated_at(self):
+        iv = EdgeInterval(added_ts=2, deleted_ts=5)
+        assert iv.updated_at(2) and iv.updated_at(5)
+        assert not iv.updated_at(3)
+
+
+class TestWrites:
+    def test_add_and_query(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        assert s.edge_alive_at(1, 2, 1)
+        assert s.edge_alive_at(2, 1, 1)  # symmetric
+        assert not s.edge_alive_at(1, 2, 0)
+
+    def test_duplicate_add_rejected(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        with pytest.raises(InvalidUpdateError):
+            s.add_edge(1, 2, ts=2)
+
+    def test_delete_then_readd(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.delete_edge(1, 2, ts=3)
+        s.add_edge(1, 2, ts=5)
+        assert s.edge_alive_at(1, 2, 1)
+        assert s.edge_alive_at(1, 2, 2)
+        assert not s.edge_alive_at(1, 2, 3)
+        assert not s.edge_alive_at(1, 2, 4)
+        assert s.edge_alive_at(1, 2, 5)
+
+    def test_delete_missing_rejected(self):
+        s = MultiVersionStore()
+        with pytest.raises(InvalidUpdateError):
+            s.delete_edge(1, 2, ts=1)
+
+    def test_same_window_delete_readd_rejected(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.delete_edge(1, 2, ts=2)
+        with pytest.raises(InvalidUpdateError):
+            s.add_edge(1, 2, ts=2)
+
+    def test_same_window_add_delete_rejected(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=2)
+        with pytest.raises(InvalidUpdateError):
+            s.delete_edge(1, 2, ts=2)
+
+    def test_out_of_order_rejected(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=5)
+        with pytest.raises(InvalidUpdateError):
+            s.add_edge(2, 3, ts=4)
+
+    def test_ts_zero_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            MultiVersionStore().add_edge(1, 2, ts=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(InvalidUpdateError):
+            MultiVersionStore().add_edge(1, 1, ts=1)
+
+
+class TestLabels:
+    def test_label_history(self):
+        s = MultiVersionStore()
+        s.set_vertex_label(1, ts=1, label="a")
+        s.set_vertex_label(1, ts=3, label="b")
+        assert s.vertex_label_at(1, 0) is None
+        assert s.vertex_label_at(1, 1) == "a"
+        assert s.vertex_label_at(1, 2) == "a"
+        assert s.vertex_label_at(1, 3) == "b"
+
+    def test_same_ts_label_overwrites(self):
+        s = MultiVersionStore()
+        s.set_vertex_label(1, ts=1, label="a")
+        s.set_vertex_label(1, ts=1, label="b")
+        assert s.vertex_label_at(1, 1) == "b"
+
+    def test_edge_label(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1, label="friend")
+        assert s.edge_label_at(1, 2, 1) == "friend"
+        assert s.edge_label_at(1, 2, 0) is None
+
+    def test_unknown_vertex_label_is_none(self):
+        assert MultiVersionStore().vertex_label_at(9, 5) is None
+
+
+class TestReads:
+    def test_neighbors_at(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.add_edge(1, 3, ts=2)
+        s.delete_edge(1, 2, ts=3)
+        assert s.neighbors_at(1, 1) == [2]
+        assert s.neighbors_at(1, 2) == [2, 3]
+        assert s.neighbors_at(1, 3) == [3]
+
+    def test_union_neighbors_include_just_deleted(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.delete_edge(1, 2, ts=2)
+        assert s.neighbors_at(1, 2) == []
+        assert s.union_neighbors_at(1, 2) == [2]
+        assert s.union_neighbors_at(1, 3) == []
+
+    def test_edges_at(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.add_edge(2, 3, ts=1)
+        s.delete_edge(1, 2, ts=2)
+        assert sorted(s.edges_at(1)) == [(1, 2), (2, 3)]
+        assert sorted(s.edges_at(2)) == [(2, 3)]
+        assert s.num_edges_at(2) == 1
+
+    def test_edge_updated_at(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.delete_edge(1, 2, ts=4)
+        assert s.edge_updated_at(1, 2, 1)
+        assert s.edge_updated_at(1, 2, 4)
+        assert not s.edge_updated_at(1, 2, 2)
+
+    def test_fetch_record_accounting(self):
+        s = MultiVersionStore(num_shards=4)
+        s.add_edge(1, 2, ts=1)
+        s.fetch_record(1)
+        s.fetch_record(1)
+        assert s.access_stats.total == 2
+        with pytest.raises(UnknownVertexError):
+            s.fetch_record(99)
+
+
+class TestBulkLoad:
+    def test_from_adjacency_roundtrip(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        g.set_vertex_label(1, "x")
+        s = MultiVersionStore.from_adjacency(g, ts=1)
+        back = s.as_adjacency(1)
+        assert sorted(back.edges()) == sorted(g.edges())
+        assert back.vertex_label(1) == "x"
+
+    def test_snapshot_zero_is_empty(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        s = MultiVersionStore.from_adjacency(g, ts=1)
+        assert list(s.edges_at(0)) == []
+
+
+class TestMaintenance:
+    def test_tombstone_count(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.add_edge(1, 3, ts=1)
+        s.delete_edge(1, 2, ts=2)
+        assert s.tombstone_count() == 1
+
+    def test_gc_reclaims_dead_versions(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.delete_edge(1, 2, ts=2)
+        s.add_edge(3, 4, ts=3)
+        s.delete_edge(3, 4, ts=4)
+        reclaimed = collect_garbage(s, horizon=2)
+        assert reclaimed == 1
+        assert not s.edge_alive_at(1, 2, 1)  # history gone
+        assert s.edge_alive_at(3, 4, 3)  # deleted after horizon: kept
+
+    def test_gc_keeps_alive_edges(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        assert collect_garbage(s, horizon=10) == 0
+        assert s.edge_alive_at(1, 2, 10)
+
+    def test_memory_items(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        assert s.memory_items() == 2  # one interval on each endpoint
+
+
+class TestViews:
+    def test_snapshot_view(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.add_edge(2, 3, ts=2)
+        v1 = SnapshotView(s, 1)
+        assert v1.neighbors(2) == [1]
+        assert not v1.has_edge(2, 3)
+        v2 = SnapshotView(s, 2)
+        assert v2.neighbors(2) == [1, 3]
+        assert v2.degree(2) == 2
+
+    def test_exploration_view_pre_post(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.delete_edge(1, 2, ts=2)
+        s.add_edge(1, 3, ts=2)
+        view = ExplorationView(s, 2)
+        assert view.alive_pre(1, 2) and not view.alive_post(1, 2)
+        assert not view.alive_pre(1, 3) and view.alive_post(1, 3)
+        assert sorted(view.neighbors(1)) == [2, 3]
+        assert view.updated_in_window(1, 2)
+        assert view.updated_in_window(1, 3)
+
+    def test_exploration_view_ts_validation(self):
+        with pytest.raises(ValueError):
+            ExplorationView(MultiVersionStore(), 0)
+
+    def test_view_recorder(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        touched = set()
+        view = ExplorationView(s, 1, recorder=touched)
+        view.neighbors(1)
+        view.alive_post(2, 1)
+        assert touched == {1, 2}
+
+    def test_view_labels_pre_post(self):
+        s = MultiVersionStore()
+        s.add_edge(1, 2, ts=1)
+        s.set_vertex_label(1, ts=2, label="new")
+        view = ExplorationView(s, 2)
+        assert view.vertex_label(1, pre=True) is None
+        assert view.vertex_label(1) == "new"

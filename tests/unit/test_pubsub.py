@@ -1,0 +1,121 @@
+"""Unit tests for the pub/sub output platform."""
+
+import pytest
+
+from repro.errors import DataflowError
+from repro.streaming.pubsub import PubSub, Topic
+
+
+class TestUnordered:
+    def test_publish_visible_immediately(self):
+        t = Topic("out")
+        t.publish("a", timestamp=5)
+        assert t.visible_records() == ["a"]
+
+    def test_subscription_cursor(self):
+        t = Topic("out")
+        sub = t.subscribe()
+        t.publish("a")
+        assert sub.poll() == "a"
+        assert sub.poll() is None
+        t.publish("b")
+        assert sub.poll() == "b"
+
+    def test_drain(self):
+        t = Topic("out")
+        for x in "abc":
+            t.publish(x)
+        sub = t.subscribe()
+        assert sub.drain() == ["a", "b", "c"]
+        assert sub.drain() == []
+
+    def test_independent_subscribers(self):
+        t = Topic("out")
+        s1, s2 = t.subscribe(), t.subscribe()
+        t.publish("a")
+        assert s1.poll() == "a"
+        t.publish("b")
+        assert s2.drain() == ["a", "b"]
+        assert s1.drain() == ["b"]
+
+
+class TestOrdered:
+    def test_held_until_watermark(self):
+        t = Topic("out", ordered=True)
+        t.publish("late", timestamp=3)
+        assert t.visible_records() == []
+        assert t.held_count() == 1
+        released = t.advance_watermark(3)
+        assert released == 1
+        assert t.visible_records() == ["late"]
+
+    def test_release_in_timestamp_order(self):
+        t = Topic("out", ordered=True)
+        t.publish("c", timestamp=3)
+        t.publish("a", timestamp=1)
+        t.publish("b", timestamp=2)
+        t.advance_watermark(3)
+        assert t.visible_records() == ["a", "b", "c"]
+
+    def test_stable_within_timestamp(self):
+        t = Topic("out", ordered=True)
+        t.publish("x1", timestamp=1)
+        t.publish("x2", timestamp=1)
+        t.advance_watermark(1)
+        assert t.visible_records() == ["x1", "x2"]
+
+    def test_partial_release(self):
+        t = Topic("out", ordered=True)
+        t.publish("a", timestamp=1)
+        t.publish("b", timestamp=5)
+        t.advance_watermark(2)
+        assert t.visible_records() == ["a"]
+        assert t.held_count() == 1
+
+    def test_publish_at_or_below_watermark_immediate(self):
+        t = Topic("out", ordered=True)
+        t.advance_watermark(5)
+        t.publish("x", timestamp=4)
+        assert t.visible_records() == ["x"]
+
+    def test_watermark_cannot_regress(self):
+        t = Topic("out", ordered=True)
+        t.advance_watermark(5)
+        with pytest.raises(DataflowError):
+            t.advance_watermark(3)
+
+
+class TestDedup:
+    def test_duplicate_keys_dropped(self):
+        t = Topic("out")
+        assert t.publish("a", dedup_key=("task", 0))
+        assert not t.publish("a", dedup_key=("task", 0))
+        assert t.duplicates_dropped == 1
+        assert len(t) == 1
+
+    def test_different_keys_kept(self):
+        t = Topic("out")
+        t.publish("a", dedup_key=1)
+        t.publish("a", dedup_key=2)
+        assert len(t) == 2
+
+    def test_no_key_never_deduped(self):
+        t = Topic("out")
+        t.publish("a")
+        t.publish("a")
+        assert len(t) == 2
+
+
+class TestPubSub:
+    def test_topic_registry(self):
+        ps = PubSub()
+        t1 = ps.topic("matches")
+        t2 = ps.topic("matches")
+        assert t1 is t2
+        assert ps.topics() == ["matches"]
+
+    def test_ordered_flag_conflict(self):
+        ps = PubSub()
+        ps.topic("x", ordered=True)
+        with pytest.raises(DataflowError):
+            ps.topic("x", ordered=False)

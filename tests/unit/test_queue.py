@@ -1,0 +1,139 @@
+"""Unit tests for the durable work queue."""
+
+import pytest
+
+from repro.errors import OffsetError, QueueClosedError
+from repro.streaming.queue import WorkQueue
+from repro.types import EdgeUpdate
+
+
+def upd(u, v, added=True):
+    return EdgeUpdate(u, v, added=added)
+
+
+class TestAppendPoll:
+    def test_fifo_order(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        q.append(1, upd(3, 4))
+        q.append(2, upd(5, 6))
+        assert q.poll().update.key == (1, 2)
+        assert q.poll().update.key == (3, 4)
+        assert q.poll().update.key == (5, 6)
+        assert q.poll() is None
+
+    def test_offsets_monotonic(self):
+        q = WorkQueue()
+        assert q.append(1, upd(1, 2)) == 0
+        assert q.append(1, upd(2, 3)) == 1
+
+    def test_timestamps_must_be_non_decreasing(self):
+        q = WorkQueue()
+        q.append(5, upd(1, 2))
+        with pytest.raises(OffsetError):
+            q.append(4, upd(2, 3))
+
+    def test_poll_guarantees_min_timestamp(self):
+        """Any pull receives ts <= every other queued item's ts."""
+        q = WorkQueue()
+        for ts in (1, 1, 2, 3):
+            q.append(ts, upd(ts, ts + 10))
+        item = q.poll()
+        remaining = [q.poll().timestamp for _ in range(3)]
+        assert all(item.timestamp <= ts for ts in remaining)
+
+    def test_closed_queue_rejects_append(self):
+        q = WorkQueue()
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.append(1, upd(1, 2))
+
+    def test_closed_queue_still_drains(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        q.close()
+        assert q.poll() is not None
+
+
+class TestAckRedeliver:
+    def test_ack_completes(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        item = q.poll()
+        q.ack(item.offset)
+        assert q.is_drained()
+        assert q.acked_count() == 1
+
+    def test_ack_unknown_offset(self):
+        q = WorkQueue()
+        with pytest.raises(OffsetError):
+            q.ack(0)
+
+    def test_redeliver_returns_item(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        item = q.poll()
+        assert q.poll() is None
+        q.redeliver(item.offset)
+        again = q.poll()
+        assert again.offset == item.offset
+        assert again.update == item.update
+
+    def test_redelivered_item_keeps_fifo_priority(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        q.append(1, upd(3, 4))
+        first = q.poll()
+        q.redeliver(first.offset)
+        assert q.poll().offset == first.offset  # lowest offset first again
+
+    def test_redeliver_all(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        q.append(1, upd(3, 4))
+        a, b = q.poll(), q.poll()
+        q.redeliver_all([a.offset, b.offset])
+        assert len(q) == 2
+
+    def test_double_ack_rejected(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        item = q.poll()
+        q.ack(item.offset)
+        with pytest.raises(OffsetError):
+            q.ack(item.offset)
+
+
+class TestWatermark:
+    def test_empty_queue_watermark(self):
+        assert WorkQueue().low_watermark() == 0
+
+    def test_all_acked(self):
+        q = WorkQueue()
+        q.append(3, upd(1, 2))
+        q.ack(q.poll().offset)
+        assert q.low_watermark() == 3
+
+    def test_pending_blocks_watermark(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        q.append(2, upd(3, 4))
+        item1 = q.poll()
+        q.ack(item1.offset)
+        assert q.low_watermark() == 1  # ts=2 not yet processed
+
+    def test_in_flight_blocks_watermark(self):
+        q = WorkQueue()
+        q.append(2, upd(1, 2))
+        q.poll()  # in flight, not acked
+        assert q.low_watermark() == 1
+
+    def test_out_of_order_acks(self):
+        q = WorkQueue()
+        q.append(1, upd(1, 2))
+        q.append(2, upd(3, 4))
+        a, b = q.poll(), q.poll()
+        q.ack(b.offset)
+        assert q.low_watermark() == 0  # ts=1 still in flight
+        q.ack(a.offset)
+        assert q.low_watermark() == 2

@@ -1,0 +1,54 @@
+"""Unit tests for the low watermark tracker."""
+
+import pytest
+
+from repro.dataflow.watermark import WatermarkTracker
+from repro.errors import DataflowError
+
+
+class TestWatermark:
+    def test_initial(self):
+        assert WatermarkTracker().watermark() == 0
+
+    def test_single_window_lifecycle(self):
+        t = WatermarkTracker()
+        t.open_window(1)
+        assert t.watermark() == 0
+        t.complete_window(1)
+        assert t.watermark() == 1
+        assert t.is_complete(1)
+
+    def test_out_of_order_completion(self):
+        t = WatermarkTracker()
+        t.open_window(1)
+        t.open_window(2)
+        t.open_window(3)
+        t.complete_window(2)
+        assert t.watermark() == 0
+        t.complete_window(1)
+        assert t.watermark() == 2
+        t.complete_window(3)
+        assert t.watermark() == 3
+
+    def test_completing_unopened_rejected(self):
+        with pytest.raises(DataflowError):
+            WatermarkTracker().complete_window(1)
+
+    def test_reopening_completed_rejected(self):
+        t = WatermarkTracker()
+        t.open_window(1)
+        t.complete_window(1)
+        with pytest.raises(DataflowError):
+            t.open_window(1)
+
+    def test_nonpositive_ts_rejected(self):
+        with pytest.raises(DataflowError):
+            WatermarkTracker().open_window(0)
+
+    def test_is_complete(self):
+        t = WatermarkTracker()
+        t.open_window(1)
+        t.open_window(2)
+        t.complete_window(1)
+        assert t.is_complete(1)
+        assert not t.is_complete(2)
