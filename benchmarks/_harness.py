@@ -34,6 +34,8 @@ from repro.graph.generators import (
     erdos_renyi,
     shuffled_edges,
 )
+from repro.runtime.backend import SerialBackend, make_backend
+from repro.runtime.session import StreamingSession
 from repro.store.mvstore import MultiVersionStore
 from repro.streaming.ingress import IngressNode
 from repro.streaming.queue import WorkQueue
@@ -122,20 +124,39 @@ def run_updates(
     window: int = WINDOW,
     trace_tasks: bool = False,
     timing: bool = False,
+    backend: str = "serial",
+    num_workers: Optional[int] = None,
 ):
-    """Feed (edge, added) updates through ingress + engine; time mining only.
+    """Feed (edge, added) updates through the streaming session; time mining only.
 
-    Returns (deltas, mining_seconds, metrics, traces).
+    Returns (deltas, mining_seconds, metrics, engine) — ``engine`` is the
+    serial backend's :class:`TesseractEngine` (for ``.traces``) or, for
+    other backends, the backend itself.
     """
-    queue = WorkQueue()
-    ingress = IngressNode(store, queue, window_size=window)
-    for (u, v), added in edge_stream:
-        ingress.submit(Update.add_edge(u, v) if added else Update.delete_edge(u, v))
-    ingress.flush()
     metrics = Metrics(timing_enabled=timing)
-    engine = TesseractEngine(store, algorithm, metrics=metrics, trace_tasks=trace_tasks)
+    if backend == "serial":
+        exec_backend = SerialBackend(
+            store, algorithm, metrics=metrics, trace_tasks=trace_tasks
+        )
+        engine = exec_backend.engine
+    else:
+        exec_backend = make_backend(
+            backend,
+            store,
+            algorithm,
+            num_workers=num_workers,
+            metrics=metrics,
+            trace_tasks=trace_tasks,
+        )
+        engine = exec_backend
+    session = StreamingSession(
+        algorithm, exec_backend, window_size=window, store=store
+    )
+    for (u, v), added in edge_stream:
+        session.submit(Update.add_edge(u, v) if added else Update.delete_edge(u, v))
+    session.ingress.flush()
     start = time.perf_counter()
-    deltas = engine.drain_queue(queue)
+    deltas = session.run_pending()
     seconds = time.perf_counter() - start
     return deltas, seconds, metrics, engine
 

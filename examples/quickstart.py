@@ -1,46 +1,50 @@
 #!/usr/bin/env python3
 """Quickstart: mine cliques on an evolving graph in ~40 lines.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [serial|thread|process|simulated]
 """
 
+import sys
+
 from repro.apps import CliqueMining
-from repro.runtime.coordinator import TesseractSystem
+from repro.runtime.session import StreamingSession
 from repro.types import Update
 
-# A Tesseract deployment: ingress + multiversioned store + work queue +
-# workers + pub/sub, all wired together.  The algorithm is ordinary static
-# mining code (filter/match); the system runs it incrementally.
-system = TesseractSystem(
+# One streaming pipeline — ingress + multiversioned store + work queue +
+# execution backend + dataflow sinks — wired by the session.  The algorithm
+# is ordinary static mining code (filter/match); the system runs it
+# incrementally, and the executor (serial / threads / processes / simulated
+# cluster) is a one-argument choice.
+backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
+session = StreamingSession(
     CliqueMining(k=4, min_size=3),  # triangles and 4-cliques
+    backend,
     window_size=4,  # updates per snapshot window
     num_workers=2,
 )
 
 # Attach a live aggregation before any data arrives.
-clique_count = system.output_stream().count()
+clique_count = session.output_stream().count()
 
 # Stream in some edges: two triangles sharing the edge (2, 3), then a
 # fourth vertex that completes a 4-clique.
-print("adding edges ...")
-system.submit_many(
+print(f"adding edges ({backend} backend) ...")
+session.submit_many(
     Update.add_edge(u, v)
     for u, v in [(1, 2), (2, 3), (1, 3), (3, 4), (2, 4), (1, 4)]
 )
-system.flush()
-for delta in system.deltas():
+session.flush()
+for delta in session.deltas():
     vertices = tuple(sorted(delta.subgraph.vertices))
     print(f"  ts={delta.timestamp} {delta.status.value:>3} {vertices}")
 print(f"live clique count: {clique_count.value()}")
 
 # Deleting an edge retracts every match that used it.
 print("deleting edge (1, 2) ...")
-before = len(system.deltas())
-system.submit(Update.delete_edge(1, 2))
-system.flush()
-for delta in system.deltas()[before:]:
+for delta in session.process([Update.delete_edge(1, 2)]):
     vertices = tuple(sorted(delta.subgraph.vertices))
     print(f"  ts={delta.timestamp} {delta.status.value:>3} {vertices}")
 print(f"live clique count: {clique_count.value()}")
+print(f"window latencies: {session.latency_summary().report()}")
 
 assert clique_count.value() == 2  # triangles (1,3,4) and (2,3,4) survive

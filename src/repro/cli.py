@@ -36,7 +36,8 @@ from repro.apps import (
 )
 from repro.graph.datasets import GKS_LABELS, dataset_names, dataset_spec, load_dataset
 from repro.graph.io import read_edge_list, read_update_stream, write_edge_list
-from repro.runtime.coordinator import TesseractSystem
+from repro.runtime.backend import BACKEND_NAMES
+from repro.runtime.session import StreamingSession
 from repro.types import Update
 
 
@@ -94,22 +95,26 @@ def cmd_mine(args: argparse.Namespace) -> int:
     """Mine an update stream and/or a static graph, printing deltas."""
     algorithm = _make_algorithm(args.algorithm)
     initial = read_edge_list(args.graph) if args.graph else None
-    system = TesseractSystem(
+    session = StreamingSession(
         algorithm,
+        args.backend,
         window_size=args.window,
         num_workers=args.workers,
         initial_graph=initial,
     )
-    count = system.output_stream().count()
+    count = session.output_stream().count()
     start = time.perf_counter()
     if args.updates:
-        system.submit_many(read_update_stream(args.updates))
+        session.submit_many(read_update_stream(args.updates))
     elif initial is None:
         raise SystemExit("provide --updates, --graph, or both")
     else:
         # static mode: re-mine the provided graph as an addition stream
-        fresh = TesseractSystem(
-            algorithm, window_size=args.window, num_workers=args.workers
+        fresh = StreamingSession(
+            algorithm,
+            args.backend,
+            window_size=args.window,
+            num_workers=args.workers,
         )
         count = fresh.output_stream().count()
         for v in sorted(initial.vertices()):
@@ -119,10 +124,10 @@ def cmd_mine(args: argparse.Namespace) -> int:
             Update.add_edge(u, v, initial.edge_label(u, v))
             for u, v in initial.sorted_edges()
         )
-        system = fresh
-    system.flush()
+        session = fresh
+    session.flush()
     elapsed = time.perf_counter() - start
-    deltas = system.deltas()
+    deltas = session.deltas()
     if not args.quiet:
         for delta in deltas:
             vertices = ",".join(str(v) for v in sorted(delta.subgraph.vertices))
@@ -133,6 +138,12 @@ def cmd_mine(args: argparse.Namespace) -> int:
         f"{count.value()} live matches, {elapsed:.2f}s",
         file=sys.stderr,
     )
+    print(
+        f"# backend={session.backend.name} "
+        f"windows: {session.latency_summary().report()}",
+        file=sys.stderr,
+    )
+    session.close()
     return 0
 
 
@@ -214,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--updates", help="update-stream file to process")
     p.add_argument("--window", type=int, default=100, help="updates per window")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--backend",
+        choices=list(BACKEND_NAMES),
+        default="serial",
+        help="execution backend for window processing (default: serial)",
+    )
     p.add_argument("--quiet", action="store_true", help="suppress per-delta output")
     p.set_defaults(func=cmd_mine)
 

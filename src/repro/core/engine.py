@@ -83,7 +83,7 @@ class TesseractEngine:
         for update in window.updates:
             deltas.extend(self.process_update(window.timestamp, update))
         elapsed = time.perf_counter() - start
-        self.metrics.total_seconds += elapsed
+        self.metrics.record_window(elapsed)
         self.window_stats.append(
             WindowStats(
                 timestamp=window.timestamp,
@@ -105,12 +105,8 @@ class TesseractEngine:
         """Pull, process, and ack every item currently in the work queue."""
         start = time.perf_counter()
         deltas: List[MatchDelta] = []
-        while True:
-            item = queue.poll()
-            if item is None:
-                break
+        for item in queue.drain():
             deltas.extend(self.process_update(item.timestamp, item.update))
-            queue.ack(item.offset)
         self.metrics.total_seconds += time.perf_counter() - start
         return deltas
 

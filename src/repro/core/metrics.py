@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 
 @dataclass
@@ -27,6 +27,12 @@ class Metrics:
     match_seconds: float = 0.0
     can_expand_seconds: float = 0.0
     total_seconds: float = 0.0
+
+    #: wall seconds of every processed window, in processing order; merging
+    #: concatenates the samples, and summaries (p50/p95/max — see
+    #: :func:`repro.runtime.stats.summarize_latencies`) treat them as an
+    #: unordered multiset, so the result is independent of merge order.
+    window_latencies: List[float] = field(default_factory=list)
 
     timing_enabled: bool = False
 
@@ -62,6 +68,12 @@ class Metrics:
         self.match_seconds += other.match_seconds
         self.can_expand_seconds += other.can_expand_seconds
         self.total_seconds += other.total_seconds
+        self.window_latencies.extend(other.window_latencies)
+
+    def record_window(self, wall_seconds: float) -> None:
+        """Record the wall time of one processed window."""
+        self.total_seconds += wall_seconds
+        self.window_latencies.append(wall_seconds)
 
     def breakdown(self) -> Dict[str, float]:
         """The Figure 6 decomposition: match / filter / CAN_EXPAND / other."""

@@ -16,6 +16,7 @@ identical to ``TesseractEngine.run_static``; only the machinery differs.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.core.api import InducedMode, MiningAlgorithm
@@ -57,11 +58,18 @@ class STesseractEngine:
         self._out: List[MatchDelta] = []
 
     def run(self, graph: AdjacencyGraph) -> List[MatchDelta]:
-        """Enumerate all matches of the static graph, once each."""
+        """Enumerate all matches of the static graph, once each.
+
+        The whole static run is accounted as one window in the metrics, so
+        STesseract latencies summarize the same way as the streaming
+        engines' (:func:`repro.runtime.stats.summarize_latencies`).
+        """
+        start = time.perf_counter()
         self._graph = graph
         self._out = []
         for u, v in graph.sorted_edges():
             self._explore_root(u, v)
+        self.metrics.record_window(time.perf_counter() - start)
         return self._out
 
     # -- internals -------------------------------------------------------

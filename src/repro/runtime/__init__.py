@@ -1,5 +1,14 @@
-"""Distributed execution runtime: workers, scheduling, cluster simulation."""
+"""Distributed execution runtime: backends, sessions, workers, simulation."""
 
+from repro.runtime.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SimulatedBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.runtime.cluster import ClusterSpec, SimResult
 from repro.runtime.coordinator import TesseractSystem
 from repro.runtime.costmodel import ClusterSimulator
@@ -8,22 +17,39 @@ from repro.runtime.driver import StreamDriver
 from repro.runtime.fault import CrashPlan, FaultInjector
 from repro.runtime.parallel import MultiprocessRunner
 from repro.runtime.scheduler import DynamicScheduler, StaticPartitionScheduler
-from repro.runtime.stats import SystemStats
+from repro.runtime.session import StreamingSession
+from repro.runtime.stats import (
+    LatencySummary,
+    SystemStats,
+    summarize_latencies,
+    summarize_window_stats,
+)
 from repro.runtime.worker import WorkerPool
 
 __all__ = [
+    "BACKEND_NAMES",
     "ClusterSpec",
     "SimResult",
     "TesseractSystem",
     "ClusterSimulator",
     "DeploymentResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "make_backend",
     "SimulatedDeployment",
+    "StreamingSession",
     "StreamDriver",
     "CrashPlan",
     "FaultInjector",
+    "LatencySummary",
     "MultiprocessRunner",
     "DynamicScheduler",
     "StaticPartitionScheduler",
     "SystemStats",
+    "summarize_latencies",
+    "summarize_window_stats",
     "WorkerPool",
 ]

@@ -1,0 +1,387 @@
+"""Pluggable execution backends: one task-running contract, four executors.
+
+Historically the repo had four disjoint ways to execute exploration tasks —
+the serial :class:`~repro.core.engine.TesseractEngine`, the threaded
+:class:`~repro.runtime.worker.WorkerPool`, the process-based
+``MultiprocessRunner``, and the :class:`~repro.runtime.distributed.\
+SimulatedDeployment` — each re-implementing queue draining, window handling,
+and metrics accumulation.  This module collapses the executor side of that
+into one interface mirroring the paper's own layering: a single mining
+engine over interchangeable deployments (EuroSys 2021 §4–5).
+
+An :class:`ExecutionBackend` runs a batch of independent exploration tasks
+(each is one ``(timestamp, EdgeUpdate)`` pair — tasks are independent by
+construction, paper §4.5) and returns the match deltas *in task order*, so
+every backend produces a byte-identical delta stream for the same input.
+The streaming loop that feeds backends window by window lives in
+:class:`~repro.runtime.session.StreamingSession`.
+
+Backends:
+
+``serial``
+    One engine, one thread.  The reference executor; lowest overhead for
+    small windows and the baseline all others must match exactly.
+
+``thread``
+    N worker engines on real threads.  Architecturally faithful to the
+    paper's worker loop but GIL-bound: use it to exercise concurrency
+    (locking, nondeterministic interleaving) rather than for speedup.
+
+``process``
+    N worker processes, each holding its own copy of the multiversioned
+    store (the paper's workers likewise keep an in-memory graph copy and no
+    shared soft state).  Real CPU parallelism; the store copy is re-shipped
+    on every batch, so it is safe for *evolving* stores, not just
+    pre-applied static batches.
+
+``simulated``
+    Executes every task once on one host while routing store reads through
+    per-machine :class:`~repro.store.remote.RemoteStoreClient` caches and
+    advancing per-worker simulated clocks — real deltas, estimated
+    multi-machine makespan.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing as mp
+import os
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.api import MiningAlgorithm
+from repro.core.engine import TesseractEngine
+from repro.core.metrics import Metrics
+from repro.store.mvstore import MultiVersionStore
+from repro.types import EdgeUpdate, MatchDelta, TaskTrace, Timestamp
+
+#: One unit of backend work: explore a single edge update at a timestamp.
+Task = Tuple[Timestamp, EdgeUpdate]
+
+#: Names accepted by :func:`make_backend` and the CLI ``--backend`` flag.
+BACKEND_NAMES = ("serial", "thread", "process", "simulated")
+
+
+class ExecutionBackend(abc.ABC):
+    """Runs batches of independent exploration tasks over a shared store.
+
+    The contract every adapter honours:
+
+    * :meth:`run_tasks` returns deltas in task order — identical across
+      backends for identical inputs;
+    * :meth:`metrics` returns a merged, cumulative :class:`Metrics` over
+      all workers, deterministic regardless of execution interleaving;
+    * workers share no soft state; the backend may be invoked repeatedly
+      as the underlying store evolves between calls.
+    """
+
+    #: the registry name of this backend ("serial", "thread", ...)
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
+        """Execute every task, returning their deltas concatenated in order."""
+
+    @abc.abstractmethod
+    def metrics(self) -> Metrics:
+        """Merged cumulative metrics of all workers (a fresh snapshot)."""
+
+    def traces(self) -> List[TaskTrace]:
+        """Per-task traces, if tracing was enabled (default: none)."""
+        return []
+
+    def record_window(self, wall_seconds: float) -> None:
+        """Charge one processed window's wall time to the metrics sink.
+
+        Called by the streaming loop after each window so ``metrics()``
+        carries cumulative wall time and per-window latency samples, the
+        way the serial engine's own window loop always accounted them.
+        """
+
+    def close(self) -> None:
+        """Release worker resources; the backend may not be reused after."""
+
+
+class SerialBackend(ExecutionBackend):
+    """The reference executor: one :class:`TesseractEngine`, in order."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        algorithm: MiningAlgorithm,
+        metrics: Optional[Metrics] = None,
+        trace_tasks: bool = False,
+    ) -> None:
+        self.engine = TesseractEngine(
+            store, algorithm, metrics=metrics, trace_tasks=trace_tasks
+        )
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
+        deltas: List[MatchDelta] = []
+        for ts, update in tasks:
+            deltas.extend(self.engine.process_update(ts, update))
+        return deltas
+
+    def metrics(self) -> Metrics:
+        merged = Metrics()
+        merged.merge(self.engine.metrics)
+        return merged
+
+    def record_window(self, wall_seconds: float) -> None:
+        self.engine.metrics.record_window(wall_seconds)
+
+    def traces(self) -> List[TaskTrace]:
+        return list(self.engine.traces)
+
+
+class ThreadBackend(ExecutionBackend):
+    """N engines on real threads; output re-assembled in task order.
+
+    Each worker owns an engine (no shared soft state); a shared cursor
+    hands out task indices, and results land in an index-addressed slot
+    table, so the emitted delta stream is independent of thread timing.
+    """
+
+    name = "thread"
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        algorithm: MiningAlgorithm,
+        num_workers: int = 2,
+        trace_tasks: bool = False,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self.engines = [
+            TesseractEngine(store, algorithm, metrics=Metrics(), trace_tasks=trace_tasks)
+            for _ in range(num_workers)
+        ]
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
+        if not tasks:
+            return []
+        slots: List[Optional[List[MatchDelta]]] = [None] * len(tasks)
+        cursor = iter(range(len(tasks)))
+        cursor_lock = threading.Lock()
+
+        def loop(worker_id: int) -> None:
+            engine = self.engines[worker_id]
+            while True:
+                with cursor_lock:
+                    index = next(cursor, None)
+                if index is None:
+                    return
+                ts, update = tasks[index]
+                slots[index] = engine.process_update(ts, update)
+
+        threads = [
+            threading.Thread(target=loop, args=(w,), name=f"backend-worker-{w}")
+            for w in range(min(self.num_workers, len(tasks)))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        out: List[MatchDelta] = []
+        for slot in slots:
+            out.extend(slot or [])
+        return out
+
+    def metrics(self) -> Metrics:
+        merged = Metrics()
+        for engine in self.engines:
+            merged.merge(engine.metrics)
+        return merged
+
+    def record_window(self, wall_seconds: float) -> None:
+        # Wall time is a whole-pool quantity; charge it to worker 0 so the
+        # merged view accumulates it exactly once.
+        self.engines[0].metrics.record_window(wall_seconds)
+
+    def traces(self) -> List[TaskTrace]:
+        out: List[TaskTrace] = []
+        for engine in self.engines:
+            out.extend(engine.traces)
+        return out
+
+
+# -- process backend ---------------------------------------------------------
+
+# Per-process state, initialized once per worker process per batch.
+_WORKER_STORE: Optional[MultiVersionStore] = None
+_WORKER_ALGORITHM: Optional[MiningAlgorithm] = None
+
+
+def _init_process_worker(
+    store: MultiVersionStore, algorithm: MiningAlgorithm
+) -> None:
+    global _WORKER_STORE, _WORKER_ALGORITHM
+    _WORKER_STORE = store
+    _WORKER_ALGORITHM = algorithm
+
+
+def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
+    index, ts, update = task
+    assert _WORKER_STORE is not None and _WORKER_ALGORITHM is not None
+    # A fresh engine per task gives a per-task Metrics we can ship back and
+    # merge deterministically (in task order) on the caller side.
+    engine = TesseractEngine(_WORKER_STORE, _WORKER_ALGORITHM)
+    deltas = engine.process_update(ts, update)
+    return index, deltas, engine.metrics
+
+
+class ProcessBackend(ExecutionBackend):
+    """N worker processes, each with its own store copy; real parallelism.
+
+    The store snapshot is shipped to each process at the start of every
+    batch (fork or pickle), so batches may run against an *evolving* store:
+    a new batch always sees the store's current version history.  Batches
+    below ``min_parallel`` tasks run inline on a fallback engine that
+    shares this backend's metrics — counters never silently vanish.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        algorithm: MiningAlgorithm,
+        num_processes: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
+        min_parallel: int = 4,
+    ) -> None:
+        self.store = store
+        self.algorithm = algorithm
+        self.num_processes = num_processes or max(1, (os.cpu_count() or 2) - 1)
+        self.min_parallel = min_parallel
+        self._metrics = metrics if metrics is not None else Metrics()
+        # The inline fallback engine accumulates into the same metrics.
+        self._inline = TesseractEngine(store, algorithm, metrics=self._metrics)
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
+        if not tasks:
+            return []
+        if self.num_processes == 1 or len(tasks) < self.min_parallel:
+            out: List[MatchDelta] = []
+            for ts, update in tasks:
+                out.extend(self._inline.process_update(ts, update))
+            return out
+        indexed = [(i, ts, upd) for i, (ts, upd) in enumerate(tasks)]
+        ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+        with ctx.Pool(
+            processes=self.num_processes,
+            initializer=_init_process_worker,
+            initargs=(self.store, self.algorithm),
+        ) as pool:
+            results = pool.map(
+                _run_process_task,
+                indexed,
+                chunksize=max(1, len(tasks) // (self.num_processes * 4)),
+            )
+        results.sort(key=lambda triple: triple[0])
+        out = []
+        for _, deltas, task_metrics in results:
+            out.extend(deltas)
+            self._metrics.merge(task_metrics)
+        return out
+
+    def metrics(self) -> Metrics:
+        merged = Metrics()
+        merged.merge(self._metrics)
+        return merged
+
+    def record_window(self, wall_seconds: float) -> None:
+        self._metrics.record_window(wall_seconds)
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Simulated multi-machine deployment behind the backend contract.
+
+    Wraps :class:`~repro.runtime.distributed.SimulatedDeployment`: every
+    task executes exactly once (deltas are exact), while store reads are
+    charged per-machine fetch latency and per-worker clocks estimate the
+    cluster makespan.  Worker caches are dropped between batches — cached
+    vertex records are soft state (paper §5.5) and may be stale once the
+    store has evolved.
+    """
+
+    name = "simulated"
+
+    def __init__(
+        self,
+        store: MultiVersionStore,
+        algorithm: MiningAlgorithm,
+        spec=None,
+        algorithm_factory: Optional[Callable[[], MiningAlgorithm]] = None,
+        fetch_costs=None,
+    ) -> None:
+        from repro.runtime.cluster import ClusterSpec
+        from repro.runtime.distributed import SimulatedDeployment
+        from repro.store.remote import FetchCosts
+
+        if spec is None:
+            spec = ClusterSpec(num_machines=2, workers_per_machine=2)
+        self.spec = spec
+        self.deployment = SimulatedDeployment(
+            store,
+            algorithm_factory if algorithm_factory is not None else (lambda: algorithm),
+            spec,
+            fetch_costs=fetch_costs if fetch_costs is not None else FetchCosts(),
+        )
+        #: per-batch deployment results (makespan, utilization, fetches)
+        self.results = []
+
+    def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
+        if not tasks:
+            return []
+        for client in self.deployment.clients:
+            client.drop_cache()
+        result = self.deployment.run(tasks)
+        self.results.append(result)
+        return result.deltas
+
+    def metrics(self) -> Metrics:
+        merged = Metrics()
+        for _, worker_metrics in self.deployment._explorers:
+            merged.merge(worker_metrics)
+        return merged
+
+    def record_window(self, wall_seconds: float) -> None:
+        self.deployment._explorers[0][1].record_window(wall_seconds)
+
+    @property
+    def last_result(self):
+        return self.results[-1] if self.results else None
+
+
+def make_backend(
+    kind: str,
+    store: MultiVersionStore,
+    algorithm: MiningAlgorithm,
+    *,
+    num_workers: Optional[int] = None,
+    metrics: Optional[Metrics] = None,
+    trace_tasks: bool = False,
+    spec=None,
+    fetch_costs=None,
+) -> ExecutionBackend:
+    """Construct a backend by registry name (see :data:`BACKEND_NAMES`)."""
+    if kind == "serial":
+        return SerialBackend(store, algorithm, metrics=metrics, trace_tasks=trace_tasks)
+    if kind == "thread":
+        return ThreadBackend(
+            store, algorithm, num_workers=num_workers or 2, trace_tasks=trace_tasks
+        )
+    if kind == "process":
+        return ProcessBackend(
+            store, algorithm, num_processes=num_workers, metrics=metrics
+        )
+    if kind == "simulated":
+        return SimulatedBackend(store, algorithm, spec=spec, fetch_costs=fetch_costs)
+    raise ValueError(
+        f"unknown backend {kind!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )

@@ -137,12 +137,5 @@ class SimulatedDeployment:
 
 
 def queue_tasks(queue) -> List[Tuple[Timestamp, EdgeUpdate]]:
-    """Drain a work queue into a task list (polling + acking every item)."""
-    tasks = []
-    while True:
-        item = queue.poll()
-        if item is None:
-            break
-        queue.ack(item.offset)
-        tasks.append((item.timestamp, item.update))
-    return tasks
+    """Drain a work queue into a task list (acking every item)."""
+    return [(item.timestamp, item.update) for item in queue.drain()]

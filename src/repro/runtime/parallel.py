@@ -1,12 +1,10 @@
 """Real parallel execution with worker processes.
 
-The serial/threaded :class:`~repro.runtime.worker.WorkerPool` is
-architecturally faithful but cannot speed up CPU-bound Python (the GIL);
-the cluster simulator predicts scaling but does not realize it.  This
-module provides the third option: a pool of *processes*, each holding a
-read-only copy of the graph store (the paper's workers likewise keep an
-in-memory graph copy and no shared soft state), executing exploration
-tasks in parallel for a real wall-clock speedup.
+The implementation now lives in :class:`~repro.runtime.backend.\
+ProcessBackend`; :class:`MultiprocessRunner` remains as the historical
+batch-oriented facade over it.  New code should construct a
+:class:`~repro.runtime.session.StreamingSession` with ``backend="process"``
+instead — that is the path with true window-by-window streaming support.
 
 Determinism: results are collected per task and re-assembled in queue
 order, so the output is byte-identical to a serial run regardless of how
@@ -15,38 +13,21 @@ tasks interleave across processes.
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.api import MiningAlgorithm
-from repro.core.engine import TesseractEngine
+from repro.core.metrics import Metrics
+from repro.runtime.backend import ProcessBackend
 from repro.store.mvstore import MultiVersionStore
 from repro.types import EdgeUpdate, MatchDelta, Timestamp
-
-# Per-process state, initialized once per worker process.
-_WORKER_ENGINE: Optional[TesseractEngine] = None
-
-
-def _init_worker(store: MultiVersionStore, algorithm: MiningAlgorithm) -> None:
-    global _WORKER_ENGINE
-    _WORKER_ENGINE = TesseractEngine(store, algorithm)
-
-
-def _run_task(task: Tuple[int, Timestamp, EdgeUpdate]):
-    index, ts, update = task
-    assert _WORKER_ENGINE is not None
-    deltas = _WORKER_ENGINE.process_update(ts, update)
-    return index, deltas
 
 
 class MultiprocessRunner:
     """Executes a batch of exploration tasks across worker processes.
 
-    The store snapshot is shipped to each process once (fork or pickle);
-    updates must already be applied to it — this runner only *mines*, it
-    does not ingest.  Suitable for large windows where task cost dominates
-    the serialization overhead.
+    The store snapshot is shipped to each process per batch (fork or
+    pickle).  ``metrics``, when provided, accumulates the counters of every
+    task — including small batches that run inline rather than forking.
     """
 
     def __init__(
@@ -54,48 +35,23 @@ class MultiprocessRunner:
         store: MultiVersionStore,
         algorithm: MiningAlgorithm,
         num_processes: Optional[int] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
         self.store = store
         self.algorithm = algorithm
-        self.num_processes = num_processes or max(1, (os.cpu_count() or 2) - 1)
+        self.backend = ProcessBackend(
+            store, algorithm, num_processes=num_processes, metrics=metrics
+        )
+        self.num_processes = self.backend.num_processes
+        self.metrics = self.backend._metrics
 
     def run(
         self, tasks: Sequence[Tuple[Timestamp, EdgeUpdate]]
     ) -> List[MatchDelta]:
         """Process (timestamp, update) tasks; deltas return in task order."""
-        if not tasks:
-            return []
-        if self.num_processes == 1 or len(tasks) < 4:
-            engine = TesseractEngine(self.store, self.algorithm)
-            out: List[MatchDelta] = []
-            for ts, update in tasks:
-                out.extend(engine.process_update(ts, update))
-            return out
-        indexed = [(i, ts, upd) for i, (ts, upd) in enumerate(tasks)]
-        ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
-        with ctx.Pool(
-            processes=self.num_processes,
-            initializer=_init_worker,
-            initargs=(self.store, self.algorithm),
-        ) as pool:
-            results = pool.map(_run_task, indexed, chunksize=max(1, len(tasks) // (self.num_processes * 4)))
-        results.sort(key=lambda pair: pair[0])
-        out = []
-        for _, deltas in results:
-            out.extend(deltas)
-        return out
+        return self.backend.run_tasks(tasks)
 
     def run_queue_snapshot(self, queue) -> List[MatchDelta]:
-        """Drain a work queue in parallel (polls first, then processes)."""
-        tasks = []
-        items = []
-        while True:
-            item = queue.poll()
-            if item is None:
-                break
-            items.append(item)
-            tasks.append((item.timestamp, item.update))
-        deltas = self.run(tasks)
-        for item in items:
-            queue.ack(item.offset)
-        return deltas
+        """Drain a work queue in parallel (collects first, then processes)."""
+        tasks = [(item.timestamp, item.update) for item in queue.drain()]
+        return self.run(tasks)

@@ -8,7 +8,64 @@ the examples' output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Sequence
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sequence."""
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Per-window wall-time distribution (p50/p95/max), merge-order safe.
+
+    Computed from the multiset of window latencies a :class:`Metrics`
+    accumulated (:attr:`~repro.core.metrics.Metrics.window_latencies`) or
+    from a list of :class:`~repro.types.WindowStats`, so summaries of runs
+    on different execution backends are directly comparable.
+    """
+
+    windows: int
+    p50_seconds: float
+    p95_seconds: float
+    max_seconds: float
+    total_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.windows if self.windows else 0.0
+
+    def report(self) -> str:
+        if not self.windows:
+            return "no windows processed"
+        return (
+            f"{self.windows} windows: "
+            f"p50 {self.p50_seconds * 1e3:.2f}ms / "
+            f"p95 {self.p95_seconds * 1e3:.2f}ms / "
+            f"max {self.max_seconds * 1e3:.2f}ms "
+            f"(total {self.total_seconds:.3f}s)"
+        )
+
+
+def summarize_latencies(wall_seconds: Sequence[float]) -> LatencySummary:
+    """Summarize window wall times; order of samples does not matter."""
+    samples = sorted(wall_seconds)
+    if not samples:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        windows=len(samples),
+        p50_seconds=_percentile(samples, 0.50),
+        p95_seconds=_percentile(samples, 0.95),
+        max_seconds=samples[-1],
+        total_seconds=sum(samples),
+    )
+
+
+def summarize_window_stats(window_stats) -> LatencySummary:
+    """Summary over ``WindowStats.wall_seconds`` records."""
+    return summarize_latencies([w.wall_seconds for w in window_stats])
 
 
 @dataclass

@@ -19,7 +19,7 @@ from __future__ import annotations
 import heapq
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.errors import OffsetError, QueueClosedError
 from repro.types import EdgeUpdate, Timestamp
@@ -99,6 +99,24 @@ class WorkQueue:
     def redeliver_all(self, offsets: List[int]) -> None:
         for offset in offsets:
             self.redeliver(offset)
+
+    def drain(self) -> Iterator[WorkItem]:
+        """Yield every ready item, acking each one on successful consumption.
+
+        An item is acknowledged when the consumer asks for the next one —
+        i.e. after its loop body completed without raising.  If the consumer
+        raises or abandons the generator mid-item, that item stays in
+        flight and can be redelivered, preserving at-least-once delivery.
+
+        This is the single queue-drain loop used by every execution path
+        (serial engine, process runner, simulated deployment).
+        """
+        while True:
+            item = self.poll()
+            if item is None:
+                return
+            yield item
+            self.ack(item.offset)
 
     # -- introspection -------------------------------------------------------
 

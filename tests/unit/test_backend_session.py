@@ -1,0 +1,197 @@
+"""Unit tests for execution backends, the streaming session, and WorkQueue.drain."""
+
+import pytest
+
+from repro.apps import CliqueMining
+from repro.core.engine import TesseractEngine, collect_matches
+from repro.core.metrics import Metrics
+from repro.graph.generators import erdos_renyi, shuffled_edges
+from repro.runtime.backend import (
+    BACKEND_NAMES,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
+from repro.runtime.parallel import MultiprocessRunner
+from repro.runtime.session import StreamingSession
+from repro.runtime.stats import (
+    LatencySummary,
+    summarize_latencies,
+    summarize_window_stats,
+)
+from repro.store.mvstore import MultiVersionStore
+from repro.streaming.ingress import IngressNode
+from repro.streaming.queue import WorkQueue
+from repro.types import EdgeUpdate, Update
+
+
+class TestWorkQueueDrain:
+    def _loaded_queue(self, n=4):
+        queue = WorkQueue()
+        for i in range(n):
+            queue.append(1, EdgeUpdate(i, i + 100, added=True))
+        return queue
+
+    def test_drain_acks_every_item(self):
+        queue = self._loaded_queue()
+        items = list(queue.drain())
+        assert [item.offset for item in items] == [0, 1, 2, 3]
+        assert queue.is_drained()
+        assert queue.acked_count() == 4
+
+    def test_consumer_exception_leaves_item_in_flight(self):
+        queue = self._loaded_queue(3)
+        with pytest.raises(RuntimeError):
+            for item in queue.drain():
+                if item.offset == 1:
+                    raise RuntimeError("worker crashed")
+        # offsets 0 acked; 1 still in flight (redeliverable); 2 untouched
+        assert queue.acked_count() == 1
+        assert queue.in_flight_offsets() == [1]
+        queue.redeliver(1)
+        assert [item.offset for item in queue.drain()] == [1, 2]
+        assert queue.is_drained()
+
+    def test_abandoned_generator_leaves_item_in_flight(self):
+        queue = self._loaded_queue(2)
+        gen = queue.drain()
+        item = next(gen)
+        gen.close()
+        assert queue.in_flight_offsets() == [item.offset]
+
+
+class TestMultiprocessRunnerMetrics:
+    def test_small_batch_fallback_keeps_caller_metrics(self):
+        """Regression: <4-task batches used to mine on a throwaway engine,
+        silently reporting zero counters to the caller."""
+        store = MultiVersionStore()
+        store.add_edge(1, 2, ts=1)
+        store.add_edge(2, 3, ts=1)
+        store.add_edge(1, 3, ts=1)
+        metrics = Metrics()
+        runner = MultiprocessRunner(
+            store, CliqueMining(3, min_size=3), num_processes=4, metrics=metrics
+        )
+        deltas = runner.run(
+            [(1, EdgeUpdate(1, 2, added=True)), (1, EdgeUpdate(2, 3, added=True)),
+             (1, EdgeUpdate(1, 3, added=True))]
+        )
+        assert len(deltas) == 1  # the triangle, found once
+        assert metrics.explore_calls > 0
+        assert metrics.emits == 1
+
+    def test_parallel_path_merges_worker_metrics(self):
+        g = erdos_renyi(16, 40, seed=7)
+        store = MultiVersionStore.from_adjacency(g, ts=1)
+        tasks = [(1, EdgeUpdate(u, v, added=True)) for u, v in g.sorted_edges()]
+        metrics = Metrics()
+        runner = MultiprocessRunner(
+            store, CliqueMining(3, min_size=3), num_processes=2, metrics=metrics
+        )
+        deltas = runner.run(tasks)
+        assert metrics.emits == sum(1 for d in deltas if d.is_new())
+        assert metrics.explore_calls > 0
+
+
+class TestLatencySummary:
+    def test_percentiles(self):
+        summary = summarize_latencies([0.1 * i for i in range(1, 101)])
+        assert summary.windows == 100
+        assert summary.p50_seconds == pytest.approx(5.1)  # nearest rank
+        assert summary.p95_seconds == pytest.approx(9.5, abs=0.11)
+        assert summary.max_seconds == pytest.approx(10.0)
+        assert summary.mean_seconds == pytest.approx(5.05)
+        assert "p95" in summary.report()
+
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary == LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        assert summary.report() == "no windows processed"
+
+    def test_merge_order_independent(self):
+        a, b = Metrics(), Metrics()
+        a.record_window(0.5)
+        a.record_window(0.1)
+        b.record_window(0.3)
+        ab, ba = Metrics(), Metrics()
+        ab.merge(a), ab.merge(b)
+        ba.merge(b), ba.merge(a)
+        assert (
+            summarize_latencies(ab.window_latencies)
+            == summarize_latencies(ba.window_latencies)
+        )
+
+    def test_from_window_stats(self):
+        session = StreamingSession(CliqueMining(3, min_size=3), window_size=2)
+        session.process(
+            Update.add_edge(u, v) for u, v in [(1, 2), (2, 3), (1, 3), (3, 4)]
+        )
+        summary = summarize_window_stats(session.window_stats)
+        assert summary.windows == len(session.window_stats) == 2
+        assert summary.max_seconds >= summary.p50_seconds > 0
+        assert session.latency_summary() == summary
+        assert session.metrics().window_latencies == [
+            w.wall_seconds for w in session.window_stats
+        ]
+
+
+class TestStreamingSession:
+    def test_matches_engine_drain(self):
+        g = erdos_renyi(14, 35, seed=11)
+        session = StreamingSession(CliqueMining(3, min_size=3), window_size=5)
+        session.process(
+            Update.add_edge(u, v) for u, v in shuffled_edges(g, seed=2)
+        )
+        expected = collect_matches(
+            TesseractEngine.run_static(g, CliqueMining(3, min_size=3))
+        )
+        assert session.live_matches() == expected
+
+    def test_window_stats_recorded_per_window(self):
+        session = StreamingSession(CliqueMining(3, min_size=3), window_size=1)
+        new = session.process(
+            Update.add_edge(u, v) for u, v in [(1, 2), (2, 3), (1, 3)]
+        )
+        assert len(session.window_stats) == 3
+        assert [w.timestamp for w in session.window_stats] == [1, 2, 3]
+        assert sum(w.num_new for w in session.window_stats) == len(new) == 1
+
+    def test_output_stream_fed_on_flush(self):
+        session = StreamingSession(CliqueMining(3, min_size=3), window_size=2)
+        count = session.output_stream().count()
+        session.process(
+            Update.add_edge(u, v) for u, v in [(1, 2), (2, 3), (1, 3)]
+        )
+        assert count.value() == 1
+        session.process([Update.delete_edge(1, 2)])
+        assert count.value() == 0
+
+    def test_run_static_equals_engine_run_static(self):
+        g = erdos_renyi(12, 30, seed=13)
+        engine_deltas = TesseractEngine.run_static(g, CliqueMining(3, min_size=3))
+        for name in BACKEND_NAMES:
+            deltas = StreamingSession.run_static(
+                g, CliqueMining(3, min_size=3), name, num_workers=2
+            )
+            assert deltas == engine_deltas, name
+
+    def test_backend_instance_must_be_usable(self):
+        store = MultiVersionStore()
+        backend = SerialBackend(store, CliqueMining(3, min_size=3))
+        session = StreamingSession(
+            CliqueMining(3, min_size=3), backend, store=store, window_size=2
+        )
+        session.process(Update.add_edge(u, v) for u, v in [(1, 2), (2, 3), (1, 3)])
+        assert len(session.live_matches()) == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            StreamingSession(CliqueMining(3), "gpu")
+
+    def test_thread_backend_deterministic_order(self):
+        g = erdos_renyi(15, 40, seed=17)
+        store = MultiVersionStore.from_adjacency(g, ts=1)
+        tasks = [(1, EdgeUpdate(u, v, added=True)) for u, v in g.sorted_edges()]
+        backend = ThreadBackend(store, CliqueMining(3, min_size=3), num_workers=4)
+        serial = make_backend("serial", store, CliqueMining(3, min_size=3))
+        assert backend.run_tasks(tasks) == serial.run_tasks(tasks)
