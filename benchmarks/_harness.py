@@ -43,6 +43,9 @@ from repro.types import MatchDelta, TaskTrace, Update
 
 RESULTS_PATH = Path(__file__).parent / "results.json"
 
+#: repo-root results file for this PR's telemetry-sourced measurements
+BENCH_PR2_PATH = Path(__file__).parent.parent / "BENCH_PR2.json"
+
 #: scaled default window size (paper: 100K updates per window)
 WINDOW = 100
 
@@ -126,6 +129,7 @@ def run_updates(
     timing: bool = False,
     backend: str = "serial",
     num_workers: Optional[int] = None,
+    telemetry=None,
 ):
     """Feed (edge, added) updates through the streaming session; time mining only.
 
@@ -136,7 +140,8 @@ def run_updates(
     metrics = Metrics(timing_enabled=timing)
     if backend == "serial":
         exec_backend = SerialBackend(
-            store, algorithm, metrics=metrics, trace_tasks=trace_tasks
+            store, algorithm, metrics=metrics, trace_tasks=trace_tasks,
+            telemetry=telemetry,
         )
         engine = exec_backend.engine
     else:
@@ -147,10 +152,12 @@ def run_updates(
             num_workers=num_workers,
             metrics=metrics,
             trace_tasks=trace_tasks,
+            telemetry=telemetry,
         )
         engine = exec_backend
     session = StreamingSession(
-        algorithm, exec_backend, window_size=window, store=store
+        algorithm, exec_backend, window_size=window, store=store,
+        telemetry=telemetry,
     )
     for (u, v), added in edge_stream:
         session.submit(Update.add_edge(u, v) if added else Update.delete_edge(u, v))
@@ -181,16 +188,41 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) ->
         print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
 
 
-def record(experiment: str, data: Dict) -> None:
-    """Merge one experiment's measurements into benchmarks/results.json."""
+def session_counter_totals(session) -> Dict[str, float]:
+    """Deterministic counter totals from a session's registry snapshot.
+
+    Benchmarks report operation counts from here (one source of truth for
+    the CLI, the tests, and the suite) rather than poking component
+    counters individually.
+    """
+    return session.collect_registry().counter_totals()
+
+
+def _merge_json(path: Path, experiment: str, data: Dict) -> None:
     existing: Dict = {}
-    if RESULTS_PATH.exists():
+    if path.exists():
         try:
-            existing = json.loads(RESULTS_PATH.read_text())
+            existing = json.loads(path.read_text())
         except json.JSONDecodeError:
             existing = {}
     existing[experiment] = data
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True))
+    path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def record(experiment: str, data: Dict) -> None:
+    """Merge one experiment's measurements into both results files.
+
+    ``benchmarks/results.json`` keeps the cumulative history that
+    EXPERIMENTS.md summarizes; repo-root ``BENCH_PR2.json`` carries the
+    registry-sourced numbers for this PR's artifacts.
+    """
+    _merge_json(RESULTS_PATH, experiment, data)
+    _merge_json(BENCH_PR2_PATH, experiment, data)
+
+
+def record_bench(experiment: str, data: Dict) -> None:
+    """Merge measurements into repo-root BENCH_PR2.json only."""
+    _merge_json(BENCH_PR2_PATH, experiment, data)
 
 
 def fmt_seconds(s: Optional[float]) -> str:

@@ -91,16 +91,31 @@ def cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_text(path: str, text: str) -> None:
+    """Write to a file, or to stdout when the path is ``-``."""
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w") as fh:
+            fh.write(text)
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
     """Mine an update stream and/or a static graph, printing deltas."""
     algorithm = _make_algorithm(args.algorithm)
     initial = read_edge_list(args.graph) if args.graph else None
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     session = StreamingSession(
         algorithm,
         args.backend,
         window_size=args.window,
         num_workers=args.workers,
         initial_graph=initial,
+        telemetry=telemetry,
     )
     count = session.output_stream().count()
     start = time.perf_counter()
@@ -115,6 +130,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             args.backend,
             window_size=args.window,
             num_workers=args.workers,
+            telemetry=telemetry,
         )
         count = fresh.output_stream().count()
         for v in sorted(initial.vertices()):
@@ -143,6 +159,17 @@ def cmd_mine(args: argparse.Namespace) -> int:
         f"windows: {session.latency_summary().report()}",
         file=sys.stderr,
     )
+    if args.metrics_out:
+        _write_text(
+            args.metrics_out,
+            session.collect_registry().dump(args.metrics_format),
+        )
+    if args.trace_out:
+        if args.trace_out == "-":
+            session.export_trace(sys.stdout)
+        else:
+            with open(args.trace_out, "w") as fh:
+                session.export_trace(fh)
     session.close()
     return 0
 
@@ -232,6 +259,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for window processing (default: serial)",
     )
     p.add_argument("--quiet", action="store_true", help="suppress per-delta output")
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable tracing; write spans as JSON lines to FILE ('-' = stdout)",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the metrics registry to FILE ('-' = stdout)",
+    )
+    p.add_argument(
+        "--metrics-format",
+        choices=["prom", "json"],
+        default="json",
+        help="exposition format for --metrics-out (default: json)",
+    )
     p.set_defaults(func=cmd_mine)
 
     p = sub.add_parser("motifs", help="motif census of a static edge list")

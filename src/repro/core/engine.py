@@ -43,21 +43,63 @@ class TesseractEngine:
         algorithm: MiningAlgorithm,
         metrics: Optional[Metrics] = None,
         trace_tasks: bool = False,
+        telemetry=None,
+        worker_label: int = 0,
     ) -> None:
+        from repro.telemetry import ensure
+
         self.store = store
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else Metrics()
-        self.explorer = Explorer(algorithm, metrics=self.metrics)
+        self.telemetry = ensure(telemetry)
+        self.worker_label = worker_label
+        self.explorer = Explorer(
+            algorithm, metrics=self.metrics, telemetry=self.telemetry
+        )
         self.trace_tasks = trace_tasks
         self.traces: List[TaskTrace] = []
         self.window_stats: List[WindowStats] = []
+        if self.telemetry.enabled:
+            self._hist_task_seconds = self.telemetry.registry.histogram(
+                "repro_engine_task_seconds",
+                "wall seconds per exploration task (one edge update)",
+            ).labels()
+        else:
+            self._hist_task_seconds = None
 
     # -- single-update task (what one distributed worker executes) --------
 
     def process_update(
         self, ts: Timestamp, update: EdgeUpdate
     ) -> List[MatchDelta]:
-        """Run the exploration task for one edge update."""
+        """Run the exploration task for one edge update.
+
+        With telemetry enabled this opens a ``task`` span (child of the
+        session's current ``window`` span) and observes the task's wall
+        time; the disabled path adds a single attribute test.
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            return self._process_update(ts, update)
+        with telemetry.tracer.span(
+            "task",
+            ts=ts,
+            u=update.u,
+            v=update.v,
+            added=update.added,
+            worker=self.worker_label,
+        ) as span:
+            start = time.perf_counter()
+            emits_before = self.metrics.emits
+            deltas = self._process_update(ts, update)
+            elapsed = time.perf_counter() - start
+            self._hist_task_seconds.observe(elapsed)
+            span.set(deltas=len(deltas), emits=self.metrics.emits - emits_before)
+        return deltas
+
+    def _process_update(
+        self, ts: Timestamp, update: EdgeUpdate
+    ) -> List[MatchDelta]:
         recorder = set() if self.trace_tasks else None
         view = ExplorationView(self.store, ts, recorder=recorder)
         before = self.metrics.work_units()

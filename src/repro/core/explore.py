@@ -35,10 +35,33 @@ class Explorer:
         algorithm: MiningAlgorithm,
         metrics: Optional[Metrics] = None,
         hard_limit: int = 12,
+        telemetry=None,
     ) -> None:
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else Metrics()
         self.hard_limit = max(hard_limit, algorithm.max_size + 1)
+        # Figure 6 categories as per-call duration histograms.  Observations
+        # happen inside the already timing-gated Stopwatch blocks, so the
+        # untimed hot path never touches the registry; with no telemetry
+        # the histograms are None and the Stopwatch skips them entirely.
+        if telemetry is not None and telemetry.enabled:
+            registry = telemetry.registry
+            self._hist_filter = registry.histogram(
+                "repro_engine_filter_call_seconds",
+                "duration of individual filter calls (timing mode only)",
+            ).labels()
+            self._hist_match = registry.histogram(
+                "repro_engine_match_call_seconds",
+                "duration of individual match calls (timing mode only)",
+            ).labels()
+            self._hist_can_expand = registry.histogram(
+                "repro_engine_can_expand_call_seconds",
+                "duration of individual CAN_EXPAND calls (timing mode only)",
+            ).labels()
+        else:
+            self._hist_filter = None
+            self._hist_match = None
+            self._hist_can_expand = None
         # Per-exploration state (reset by explore_update).
         self._view: ExplorationView = None  # type: ignore[assignment]
         self._verts: List[VertexId] = []
@@ -117,7 +140,9 @@ class Explorer:
             pre_bits, post_bits = candidates[v]
             self.metrics.can_expand_calls += 1
             if timing:
-                with Stopwatch(self.metrics, "can_expand_seconds"):
+                with Stopwatch(
+                    self.metrics, "can_expand_seconds", self._hist_can_expand
+                ):
                     allowed = vertex_expansion(
                         verts, start_key, v, pre_bits, post_bits
                     )
@@ -205,7 +230,7 @@ class Explorer:
         metrics = self.metrics
         metrics.filter_calls += 1
         if metrics.timing_enabled:
-            with Stopwatch(metrics, "filter_seconds"):
+            with Stopwatch(metrics, "filter_seconds", self._hist_filter):
                 keep = algorithm.filter(s)
         else:
             keep = algorithm.filter(s)
@@ -214,7 +239,7 @@ class Explorer:
             return False
         metrics.match_calls += 1
         if metrics.timing_enabled:
-            with Stopwatch(metrics, "match_seconds"):
+            with Stopwatch(metrics, "match_seconds", self._hist_match):
                 return algorithm.match(s)
         return algorithm.match(s)
 
@@ -262,7 +287,9 @@ class Explorer:
             pre_bits, post_bits = candidates[v]
             self.metrics.can_expand_calls += 1
             if timing:
-                with Stopwatch(self.metrics, "can_expand_seconds"):
+                with Stopwatch(
+                    self.metrics, "can_expand_seconds", self._hist_can_expand
+                ):
                     pool = edge_expansion_pool(
                         verts, start_key, v, pre_bits, post_bits
                     )

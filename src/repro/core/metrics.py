@@ -97,23 +97,42 @@ class Metrics:
 
 
 class Stopwatch:
-    """Context helper adding elapsed time to a metrics field."""
+    """Context helper adding elapsed time to a metrics field.
 
-    __slots__ = ("metrics", "field_name", "_start")
+    A no-op when ``metrics.timing_enabled`` is off: neither ``__enter__``
+    nor ``__exit__`` reads the clock, so algorithms may wrap their
+    filter/match/CAN_EXPAND work unconditionally without paying two
+    ``perf_counter`` calls per operation in untimed runs.
 
-    def __init__(self, metrics: Metrics, field_name: str) -> None:
+    When timing runs, the elapsed seconds are also observed into
+    ``histogram`` (a telemetry histogram instrument) if one is given, so
+    the Figure 6 categories can be recorded as per-call distributions, not
+    just cumulative totals.
+    """
+
+    __slots__ = ("metrics", "field_name", "histogram", "_start")
+
+    def __init__(self, metrics: Metrics, field_name: str, histogram=None) -> None:
         self.metrics = metrics
         self.field_name = field_name
-        self._start = 0.0
+        self.histogram = histogram
+        self._start: float = -1.0
 
     def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
+        if self.metrics.timing_enabled:
+            self._start = time.perf_counter()
+        else:
+            self._start = -1.0
         return self
 
     def __exit__(self, *exc: object) -> None:
+        if self._start < 0:
+            return
         elapsed = time.perf_counter() - self._start
         setattr(
             self.metrics,
             self.field_name,
             getattr(self.metrics, self.field_name) + elapsed,
         )
+        if self.histogram is not None:
+            self.histogram.observe(elapsed)

@@ -70,6 +70,9 @@ class Stream:
 
     def __init__(self) -> None:
         self._downstream: List[Stream] = []
+        #: per-operator record counter; ``None`` keeps push at zero overhead
+        self._records_counter = None
+        self._registry = None
 
     # -- construction --------------------------------------------------------
 
@@ -79,11 +82,37 @@ class Stream:
 
     def _attach(self, node: "Stream") -> "Stream":
         self._downstream.append(node)
+        if self._registry is not None:
+            node.bind_telemetry(self._registry)
         return node
+
+    # -- telemetry -------------------------------------------------------
+
+    def _operator_name(self) -> str:
+        return type(self).__name__.lstrip("_").lower()
+
+    def bind_telemetry(self, registry, operator: Optional[str] = None) -> "Stream":
+        """Count records entering this node (and all attached descendants).
+
+        Each operator gets one child of ``repro_dataflow_records_total``
+        labeled with its lowercase class name (``map``, ``filter``,
+        ``aggregatenode``, ...); operators attached later inherit the
+        binding.  Unbound streams pay a single ``is None`` test per record.
+        """
+        self._registry = registry
+        self._records_counter = registry.counter(
+            "repro_dataflow_records_total",
+            "records entering each dataflow operator",
+        ).labels(operator=operator or self._operator_name())
+        for node in self._downstream:
+            node.bind_telemetry(registry)
+        return self
 
     # -- data entry ------------------------------------------------------
 
     def push(self, record: Record) -> None:
+        if self._records_counter is not None:
+            self._records_counter.inc()
         for out in self._process(record):
             for node in self._downstream:
                 node.push(out)
@@ -274,7 +303,14 @@ class _JoinSide(Stream):
         self.join = join
         self.left = left
 
+    def bind_telemetry(self, registry, operator: Optional[str] = None) -> "Stream":
+        super().bind_telemetry(registry, operator)
+        self.join.bind_telemetry(registry)
+        return self
+
     def push(self, record: Record) -> None:  # bypass _process/_downstream
+        if self._records_counter is not None:
+            self._records_counter.inc()
         self.join.push_side(record, self.left)
 
 
@@ -298,6 +334,8 @@ class _StreamJoin(Stream):
         self._right: Dict[Hashable, Dict[Any, int]] = {}
 
     def push_side(self, record: Record, left: bool) -> None:
+        if self._records_counter is not None:
+            self._records_counter.inc()
         key = (self.left_key if left else self.right_key)(record.value)
         mine = self._left if left else self._right
         theirs = self._right if left else self._left

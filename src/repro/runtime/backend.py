@@ -53,6 +53,7 @@ from repro.core.api import MiningAlgorithm
 from repro.core.engine import TesseractEngine
 from repro.core.metrics import Metrics
 from repro.store.mvstore import MultiVersionStore
+from repro.telemetry import MetricsRegistry, Telemetry, ensure
 from repro.types import EdgeUpdate, MatchDelta, TaskTrace, Timestamp
 
 #: One unit of backend work: explore a single edge update at a timestamp.
@@ -73,6 +74,14 @@ class ExecutionBackend(abc.ABC):
       all workers, deterministic regardless of execution interleaving;
     * workers share no soft state; the backend may be invoked repeatedly
       as the underlying store evolves between calls.
+
+    Telemetry: each worker engine records into its **own**
+    :class:`~repro.telemetry.MetricsRegistry` (so concurrent workers never
+    contend on shared instruments); :meth:`worker_registries` exposes them
+    for order-independent merging at snapshot time.  Spans from every
+    worker land on the session's shared (thread-safe) tracer; the process
+    backend ships its spans back over the same channel as its merged
+    metrics.
     """
 
     #: the registry name of this backend ("serial", "thread", ...)
@@ -89,6 +98,17 @@ class ExecutionBackend(abc.ABC):
     def traces(self) -> List[TaskTrace]:
         """Per-task traces, if tracing was enabled (default: none)."""
         return []
+
+    def worker_registries(self) -> List[MetricsRegistry]:
+        """Per-worker metric registries to merge at snapshot time."""
+        return []
+
+    @staticmethod
+    def _worker_telemetry(telemetry) -> "Telemetry | None":
+        """A per-worker telemetry view: shared tracer, private registry."""
+        if telemetry is None or not telemetry.enabled:
+            return None
+        return Telemetry(tracer=telemetry.tracer, registry=MetricsRegistry())
 
     def record_window(self, wall_seconds: float) -> None:
         """Charge one processed window's wall time to the metrics sink.
@@ -113,10 +133,19 @@ class SerialBackend(ExecutionBackend):
         algorithm: MiningAlgorithm,
         metrics: Optional[Metrics] = None,
         trace_tasks: bool = False,
+        telemetry=None,
     ) -> None:
+        self._worker_tel = self._worker_telemetry(telemetry)
         self.engine = TesseractEngine(
-            store, algorithm, metrics=metrics, trace_tasks=trace_tasks
+            store,
+            algorithm,
+            metrics=metrics,
+            trace_tasks=trace_tasks,
+            telemetry=self._worker_tel,
         )
+
+    def worker_registries(self) -> List[MetricsRegistry]:
+        return [self._worker_tel.registry] if self._worker_tel is not None else []
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         deltas: List[MatchDelta] = []
@@ -152,14 +181,28 @@ class ThreadBackend(ExecutionBackend):
         algorithm: MiningAlgorithm,
         num_workers: int = 2,
         trace_tasks: bool = False,
+        telemetry=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
-        self.engines = [
-            TesseractEngine(store, algorithm, metrics=Metrics(), trace_tasks=trace_tasks)
-            for _ in range(num_workers)
+        self._worker_tels = [
+            self._worker_telemetry(telemetry) for _ in range(num_workers)
         ]
+        self.engines = [
+            TesseractEngine(
+                store,
+                algorithm,
+                metrics=Metrics(),
+                trace_tasks=trace_tasks,
+                telemetry=self._worker_tels[w],
+                worker_label=w,
+            )
+            for w in range(num_workers)
+        ]
+
+    def worker_registries(self) -> List[MetricsRegistry]:
+        return [tel.registry for tel in self._worker_tels if tel is not None]
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         if not tasks:
@@ -214,24 +257,44 @@ class ThreadBackend(ExecutionBackend):
 # Per-process state, initialized once per worker process per batch.
 _WORKER_STORE: Optional[MultiVersionStore] = None
 _WORKER_ALGORITHM: Optional[MiningAlgorithm] = None
+_WORKER_TELEMETRY_ON: bool = False
 
 
 def _init_process_worker(
-    store: MultiVersionStore, algorithm: MiningAlgorithm
+    store: MultiVersionStore,
+    algorithm: MiningAlgorithm,
+    telemetry_on: bool = False,
 ) -> None:
-    global _WORKER_STORE, _WORKER_ALGORITHM
+    global _WORKER_STORE, _WORKER_ALGORITHM, _WORKER_TELEMETRY_ON
     _WORKER_STORE = store
     _WORKER_ALGORITHM = algorithm
+    _WORKER_TELEMETRY_ON = telemetry_on
 
 
 def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
     index, ts, update = task
     assert _WORKER_STORE is not None and _WORKER_ALGORITHM is not None
-    # A fresh engine per task gives a per-task Metrics we can ship back and
-    # merge deterministically (in task order) on the caller side.
-    engine = TesseractEngine(_WORKER_STORE, _WORKER_ALGORITHM)
+    # A fresh engine per task gives a per-task Metrics (and, with telemetry
+    # on, per-task spans and a per-task registry) we can ship back and merge
+    # deterministically (in task order) on the caller side — spans travel
+    # over the exact same channel as the merged metrics.
+    telemetry = Telemetry(trace_capacity=256) if _WORKER_TELEMETRY_ON else None
+    engine = TesseractEngine(
+        _WORKER_STORE,
+        _WORKER_ALGORITHM,
+        telemetry=telemetry,
+        worker_label=os.getpid(),
+    )
     deltas = engine.process_update(ts, update)
-    return index, deltas, engine.metrics
+    if telemetry is None:
+        return index, deltas, engine.metrics, None, None
+    return (
+        index,
+        deltas,
+        engine.metrics,
+        telemetry.tracer.records(),
+        telemetry.registry,
+    )
 
 
 class ProcessBackend(ExecutionBackend):
@@ -253,14 +316,23 @@ class ProcessBackend(ExecutionBackend):
         num_processes: Optional[int] = None,
         metrics: Optional[Metrics] = None,
         min_parallel: int = 4,
+        telemetry=None,
     ) -> None:
         self.store = store
         self.algorithm = algorithm
         self.num_processes = num_processes or max(1, (os.cpu_count() or 2) - 1)
         self.min_parallel = min_parallel
         self._metrics = metrics if metrics is not None else Metrics()
+        self.telemetry = ensure(telemetry)
+        self._worker_tel = self._worker_telemetry(telemetry)
+        # Registry accumulating what worker processes ship back per batch.
+        self._shipped_registry = (
+            MetricsRegistry() if self.telemetry.enabled else None
+        )
         # The inline fallback engine accumulates into the same metrics.
-        self._inline = TesseractEngine(store, algorithm, metrics=self._metrics)
+        self._inline = TesseractEngine(
+            store, algorithm, metrics=self._metrics, telemetry=self._worker_tel
+        )
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         if not tasks:
@@ -275,18 +347,24 @@ class ProcessBackend(ExecutionBackend):
         with ctx.Pool(
             processes=self.num_processes,
             initializer=_init_process_worker,
-            initargs=(self.store, self.algorithm),
+            initargs=(self.store, self.algorithm, self.telemetry.enabled),
         ) as pool:
             results = pool.map(
                 _run_process_task,
                 indexed,
                 chunksize=max(1, len(tasks) // (self.num_processes * 4)),
             )
-        results.sort(key=lambda triple: triple[0])
+        results.sort(key=lambda entry: entry[0])
         out = []
-        for _, deltas, task_metrics in results:
+        for _, deltas, task_metrics, spans, registry in results:
             out.extend(deltas)
             self._metrics.merge(task_metrics)
+            if spans:
+                # Re-parent the worker's spans under the caller's current
+                # span (the session's open window span).
+                self.telemetry.tracer.absorb(spans)
+            if registry is not None and self._shipped_registry is not None:
+                self._shipped_registry.merge(registry)
         return out
 
     def metrics(self) -> Metrics:
@@ -296,6 +374,14 @@ class ProcessBackend(ExecutionBackend):
 
     def record_window(self, wall_seconds: float) -> None:
         self._metrics.record_window(wall_seconds)
+
+    def worker_registries(self) -> List[MetricsRegistry]:
+        out = []
+        if self._worker_tel is not None:
+            out.append(self._worker_tel.registry)
+        if self._shipped_registry is not None:
+            out.append(self._shipped_registry)
+        return out
 
 
 class SimulatedBackend(ExecutionBackend):
@@ -318,6 +404,7 @@ class SimulatedBackend(ExecutionBackend):
         spec=None,
         algorithm_factory: Optional[Callable[[], MiningAlgorithm]] = None,
         fetch_costs=None,
+        telemetry=None,
     ) -> None:
         from repro.runtime.cluster import ClusterSpec
         from repro.runtime.distributed import SimulatedDeployment
@@ -331,6 +418,7 @@ class SimulatedBackend(ExecutionBackend):
             algorithm_factory if algorithm_factory is not None else (lambda: algorithm),
             spec,
             fetch_costs=fetch_costs if fetch_costs is not None else FetchCosts(),
+            telemetry=telemetry,
         )
         #: per-batch deployment results (makespan, utilization, fetches)
         self.results = []
@@ -353,6 +441,9 @@ class SimulatedBackend(ExecutionBackend):
     def record_window(self, wall_seconds: float) -> None:
         self.deployment._explorers[0][1].record_window(wall_seconds)
 
+    def worker_registries(self) -> List[MetricsRegistry]:
+        return list(self.deployment.worker_registries)
+
     @property
     def last_result(self):
         return self.results[-1] if self.results else None
@@ -368,20 +459,41 @@ def make_backend(
     trace_tasks: bool = False,
     spec=None,
     fetch_costs=None,
+    telemetry=None,
 ) -> ExecutionBackend:
     """Construct a backend by registry name (see :data:`BACKEND_NAMES`)."""
     if kind == "serial":
-        return SerialBackend(store, algorithm, metrics=metrics, trace_tasks=trace_tasks)
+        return SerialBackend(
+            store,
+            algorithm,
+            metrics=metrics,
+            trace_tasks=trace_tasks,
+            telemetry=telemetry,
+        )
     if kind == "thread":
         return ThreadBackend(
-            store, algorithm, num_workers=num_workers or 2, trace_tasks=trace_tasks
+            store,
+            algorithm,
+            num_workers=num_workers or 2,
+            trace_tasks=trace_tasks,
+            telemetry=telemetry,
         )
     if kind == "process":
         return ProcessBackend(
-            store, algorithm, num_processes=num_workers, metrics=metrics
+            store,
+            algorithm,
+            num_processes=num_workers,
+            metrics=metrics,
+            telemetry=telemetry,
         )
     if kind == "simulated":
-        return SimulatedBackend(store, algorithm, spec=spec, fetch_costs=fetch_costs)
+        return SimulatedBackend(
+            store,
+            algorithm,
+            spec=spec,
+            fetch_costs=fetch_costs,
+            telemetry=telemetry,
+        )
     raise ValueError(
         f"unknown backend {kind!r}; expected one of {', '.join(BACKEND_NAMES)}"
     )

@@ -67,13 +67,17 @@ class SimulatedDeployment:
         seconds_per_work_unit: float = 2e-6,
         dequeue_seconds: float = 1e-6,
         emit_seconds: float = 0.5e-6,
+        telemetry=None,
     ) -> None:
+        from repro.telemetry import MetricsRegistry, Telemetry, ensure
+
         self.store = store
         self.spec = spec
         self.fetch_costs = fetch_costs
         self.seconds_per_work_unit = seconds_per_work_unit
         self.dequeue_seconds = dequeue_seconds
         self.emit_seconds = emit_seconds
+        self.telemetry = ensure(telemetry)
         # One store client per machine (its workers share the cache).
         self.clients = [
             RemoteStoreClient(
@@ -83,11 +87,28 @@ class SimulatedDeployment:
             )
             for _ in range(spec.num_machines)
         ]
-        # One explorer (+ metrics) per worker: no shared soft state.
+        # One explorer (+ metrics) per worker: no shared soft state.  With
+        # telemetry on, each worker also gets its own registry (merged
+        # order-independently at snapshot time) on the shared tracer.
         self._explorers = []
+        self.worker_registries: List[MetricsRegistry] = []
         for _ in range(spec.total_workers):
             metrics = Metrics()
-            self._explorers.append((Explorer(algorithm_factory(), metrics=metrics), metrics))
+            if self.telemetry.enabled:
+                worker_tel = Telemetry(
+                    tracer=self.telemetry.tracer, registry=MetricsRegistry()
+                )
+                self.worker_registries.append(worker_tel.registry)
+            else:
+                worker_tel = None
+            self._explorers.append(
+                (
+                    Explorer(
+                        algorithm_factory(), metrics=metrics, telemetry=worker_tel
+                    ),
+                    metrics,
+                )
+            )
 
     def run(
         self, tasks: Sequence[Tuple[Timestamp, EdgeUpdate]]
@@ -102,6 +123,8 @@ class SimulatedDeployment:
         busy = [0.0] * spec.total_workers
         queue_free_at = 0.0
         deltas: List[MatchDelta] = []
+        tracer = self.telemetry.tracer
+        traced = self.telemetry.enabled
         for ts, update in tasks:
             clock, worker = heapq.heappop(idle)
             machine = worker // spec.workers_per_machine
@@ -112,15 +135,32 @@ class SimulatedDeployment:
 
             work_before = metrics.work_units()
             fetch_before = client.log.simulated_seconds
-            out = explorer.explore_update(ExplorationView(client, ts), update)
-            deltas.extend(out)
 
-            duration = (
-                self.dequeue_seconds
-                + (metrics.work_units() - work_before) * self.seconds_per_work_unit
-                + (client.log.simulated_seconds - fetch_before)
-                + len(out) * self.emit_seconds
-            )
+            def run_one():
+                out = explorer.explore_update(ExplorationView(client, ts), update)
+                return out, (
+                    self.dequeue_seconds
+                    + (metrics.work_units() - work_before)
+                    * self.seconds_per_work_unit
+                    + (client.log.simulated_seconds - fetch_before)
+                    + len(out) * self.emit_seconds
+                )
+
+            if traced:
+                with tracer.span(
+                    "task",
+                    ts=ts,
+                    u=update.u,
+                    v=update.v,
+                    added=update.added,
+                    worker=worker,
+                    machine=machine,
+                ) as span:
+                    out, duration = run_one()
+                    span.set(deltas=len(out), simulated_seconds=duration)
+            else:
+                out, duration = run_one()
+            deltas.extend(out)
             busy[worker] += duration
             heapq.heappush(idle, (start + duration, worker))
         makespan = max(clock for clock, _ in idle) if tasks else 0.0

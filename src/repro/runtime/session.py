@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.api import MiningAlgorithm
 from repro.core.metrics import Metrics
+from repro.errors import WorkerCrashed
 from repro.dataflow.stream import Stream
 from repro.graph.adjacency import AdjacencyGraph
 from repro.runtime.backend import (
@@ -68,8 +69,14 @@ class StreamingSession:
         trace_tasks: bool = False,
         spec=None,
         fetch_costs=None,
+        telemetry=None,
+        fault_injector=None,
     ) -> None:
+        from repro.telemetry import ensure
+
         self.algorithm = algorithm
+        self.telemetry = ensure(telemetry)
+        self.fault_injector = fault_injector
         if store is not None:
             if initial_graph is not None:
                 raise ValueError("pass either initial_graph or store, not both")
@@ -80,9 +87,13 @@ class StreamingSession:
             )
         else:
             self.store = MultiVersionStore(num_shards=num_shards)
-        self.queue = WorkQueue()
+        self.queue = WorkQueue(telemetry=self.telemetry)
         self.ingress = IngressNode(
-            self.store, self.queue, window_size=window_size, gc_enabled=gc_enabled
+            self.store,
+            self.queue,
+            window_size=window_size,
+            gc_enabled=gc_enabled,
+            telemetry=self.telemetry,
         )
         if isinstance(backend, ExecutionBackend):
             self.backend = backend
@@ -95,10 +106,15 @@ class StreamingSession:
                 trace_tasks=trace_tasks,
                 spec=spec,
                 fetch_costs=fetch_costs,
+                telemetry=self.telemetry,
             )
         self.window_stats: List[WindowStats] = []
         self._deltas: List[MatchDelta] = []
         self._streams: List[Stream] = []
+        self._c_restarts = self.telemetry.registry.counter(
+            "repro_session_worker_restarts_total",
+            "worker crashes recovered by queue redelivery",
+        )
 
     # -- input side ------------------------------------------------------
 
@@ -132,7 +148,8 @@ class StreamingSession:
         """
         window_ts: Optional[Timestamp] = None
         tasks: List[Task] = []
-        for item in self.queue.drain():
+        on_poll = self._on_poll if self.fault_injector is not None else None
+        for item in self.queue.drain(on_poll=on_poll):
             if window_ts is not None and item.timestamp != window_ts:
                 yield window_ts, tasks
                 tasks = []
@@ -142,13 +159,41 @@ class StreamingSession:
             assert window_ts is not None
             yield window_ts, tasks
 
+    def _on_poll(self, item) -> None:
+        """Per-item fault-injection hook run inside the queue's drain loop.
+
+        A fired crash point raises :class:`WorkerCrashed`; the counter and
+        ``worker.restart`` trace marker record the recovery, then the
+        exception propagates so :meth:`WorkQueue.drain` redelivers the item
+        to the (logically restarted) worker.
+        """
+        try:
+            self.fault_injector.on_task_start(0, item.offset)
+        except WorkerCrashed:
+            self._c_restarts.inc()
+            now = time.perf_counter()
+            self.telemetry.tracer.record(
+                "worker.restart", now, now, offset=item.offset, ts=item.timestamp
+            )
+            raise
+
     def run_pending(self) -> List[MatchDelta]:
-        """Drain queued windows through the backend; dispatch to sinks."""
+        """Drain queued windows through the backend; dispatch to sinks.
+
+        With telemetry enabled each window runs inside an *anchored*
+        ``window`` span, so task spans opened on worker threads (whose span
+        stacks are empty) still parent under it.
+        """
         new_deltas: List[MatchDelta] = []
+        tracer = self.telemetry.tracer
         for ts, tasks in self._pending_windows():
-            start = time.perf_counter()
-            deltas = self.backend.run_tasks(tasks)
-            elapsed = time.perf_counter() - start
+            with tracer.span(
+                "window", anchored=True, ts=ts, updates=len(tasks)
+            ) as span:
+                start = time.perf_counter()
+                deltas = self.backend.run_tasks(tasks)
+                elapsed = time.perf_counter() - start
+                span.set(deltas=len(deltas), seconds=elapsed)
             self.backend.record_window(elapsed)
             self.window_stats.append(
                 WindowStats(
@@ -169,8 +214,15 @@ class StreamingSession:
     # -- output side -----------------------------------------------------
 
     def output_stream(self) -> Stream:
-        """A dataflow source fed automatically after each flush."""
+        """A dataflow source fed automatically after each flush.
+
+        With telemetry enabled the stream (and every operator later
+        attached to it) counts its records in
+        ``repro_dataflow_records_total{operator=...}``.
+        """
         stream = Stream.source()
+        if self.telemetry.enabled:
+            stream.bind_telemetry(self.telemetry.registry, operator="source")
         self._streams.append(stream)
         return stream
 
@@ -198,6 +250,38 @@ class StreamingSession:
     def latency_summary(self) -> LatencySummary:
         """p50/p95/max over this session's per-window wall seconds."""
         return summarize_latencies([w.wall_seconds for w in self.window_stats])
+
+    def collect_registry(self):
+        """A fresh :class:`~repro.telemetry.MetricsRegistry` snapshot.
+
+        Builds a new registry on every call (so it is idempotent): the
+        session's live registry and every backend worker registry are
+        merged in (order-independent), then the engine's merged
+        :class:`Metrics`, the ingress node's net counters, and the
+        per-window stats are bridged on top.  Works even with telemetry
+        disabled — the bridged portions come from state the pipeline
+        always maintains.
+        """
+        from repro.runtime.stats import window_stats_to_registry
+        from repro.telemetry import MetricsRegistry
+        from repro.telemetry.bridge import (
+            ingress_to_registry,
+            metrics_to_registry,
+        )
+
+        out = MetricsRegistry()
+        if self.telemetry.enabled:
+            out.merge(self.telemetry.registry)
+            for registry in self.backend.worker_registries():
+                out.merge(registry)
+        metrics_to_registry(out, self.metrics())
+        ingress_to_registry(out, self.ingress)
+        window_stats_to_registry(out, self.window_stats)
+        return out
+
+    def export_trace(self, out) -> int:
+        """Write the buffered trace as JSON lines; returns spans written."""
+        return self.telemetry.tracer.export_jsonl(out)
 
     def snapshot(self, ts: Optional[Timestamp] = None) -> AdjacencyGraph:
         """Materialize the graph as of ``ts`` (default: latest)."""

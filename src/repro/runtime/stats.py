@@ -68,6 +68,41 @@ def summarize_window_stats(window_stats) -> LatencySummary:
     return summarize_latencies([w.wall_seconds for w in window_stats])
 
 
+def window_stats_to_registry(registry, window_stats) -> None:
+    """Project per-window stats into session-level metrics.
+
+    Counters are set with ``set_total`` (idempotent on re-bridge); the
+    histograms are *rebuilt* from the stats list, so this must only be
+    called on a freshly built registry (see
+    :meth:`~repro.runtime.session.StreamingSession.collect_registry`),
+    never repeatedly on a live one.
+    """
+    from repro.telemetry import SIZE_BUCKETS
+
+    registry.counter(
+        "repro_session_windows_total", "snapshot windows executed"
+    ).set_total(len(window_stats))
+    registry.counter(
+        "repro_session_updates_total", "edge updates executed across windows"
+    ).set_total(sum(w.num_updates for w in window_stats))
+    deltas = registry.counter(
+        "repro_session_deltas_total", "match deltas emitted across windows"
+    )
+    deltas.labels(kind="new").set_total(sum(w.num_new for w in window_stats))
+    deltas.labels(kind="rem").set_total(sum(w.num_rem for w in window_stats))
+    h_seconds = registry.histogram(
+        "repro_session_window_seconds", "wall seconds per executed window"
+    )
+    h_updates = registry.histogram(
+        "repro_session_window_updates",
+        "edge updates per executed window",
+        buckets=SIZE_BUCKETS,
+    )
+    for w in window_stats:
+        h_seconds.observe(w.wall_seconds)
+        h_updates.observe(w.num_updates)
+
+
 @dataclass
 class SystemStats:
     """A point-in-time snapshot of a :class:`TesseractSystem`."""

@@ -65,11 +65,29 @@ class IngressNode:
         window_seconds: Optional[float] = None,
         clock=time.monotonic,
         gc_enabled: bool = False,
+        telemetry=None,
     ) -> None:
+        from repro.telemetry import SIZE_BUCKETS, ensure
+
         if window_size < 1:
             raise ValueError("window_size must be positive")
         if window_seconds is not None and window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
+        telemetry = ensure(telemetry)
+        self._telemetry = telemetry
+        registry = telemetry.registry
+        self._c_submitted = registry.counter(
+            "repro_ingress_updates_submitted_total",
+            "raw updates submitted to the ingress node",
+        )
+        self._c_windows = registry.counter(
+            "repro_ingress_windows_total", "snapshot windows applied"
+        )
+        self._h_window_updates = registry.histogram(
+            "repro_ingress_window_updates",
+            "edge updates per applied window",
+            buckets=SIZE_BUCKETS,
+        )
         self.store = store
         self.queue = queue
         self.window_size = window_size
@@ -101,6 +119,7 @@ class IngressNode:
         """
         if self._window_opened_at is None:
             self._window_opened_at = self._clock()
+        self._c_submitted.inc()
         self._apply_to_pending(update)
         while len(self._pending) >= self.window_size:
             self._close_window()
@@ -276,8 +295,20 @@ class IngressNode:
         """Apply the open window atomically and enqueue its edge updates.
 
         With ``limit=False`` every pending operation is applied regardless
-        of the window size (used to keep relabels atomic).
+        of the window size (used to keep relabels atomic).  With telemetry
+        enabled the application is wrapped in an ``ingress.window`` span
+        and the window size lands in ``repro_ingress_window_updates``.
         """
+        if not self._telemetry.enabled:
+            return self._apply_window(limit)
+        with self._telemetry.tracer.span("ingress.window") as span:
+            window = self._apply_window(limit)
+            span.set(ts=window.timestamp, updates=len(window.updates))
+        self._c_windows.inc()
+        self._h_window_updates.observe(len(window.updates))
+        return window
+
+    def _apply_window(self, limit: bool = True) -> Window:
         ts = self._next_ts
         window = Window(timestamp=ts)
         # Vertex labels take effect at this window's timestamp.

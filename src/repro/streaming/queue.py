@@ -18,10 +18,12 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
-from repro.errors import OffsetError, QueueClosedError
+from repro.errors import OffsetError, QueueClosedError, WorkerCrashed
+from repro.telemetry import ensure
 from repro.types import EdgeUpdate, Timestamp
 
 
@@ -37,7 +39,7 @@ class WorkItem:
 class WorkQueue:
     """Single-partition durable queue: append, poll, ack, redeliver."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
         self._log: List[WorkItem] = []
         self._ready: List[int] = []  # min-heap of offsets ready to poll
         self._in_flight: Dict[int, WorkItem] = {}
@@ -45,6 +47,28 @@ class WorkQueue:
         self._closed = False
         self._last_ts: Timestamp = 0
         self._lock = threading.Lock()  # consumers may run on threads
+        telemetry = ensure(telemetry)
+        self._telemetry_on = telemetry.enabled
+        registry = telemetry.registry
+        self._c_appended = registry.counter(
+            "repro_queue_appended_total", "work items durably appended"
+        )
+        self._c_acked = registry.counter(
+            "repro_queue_acked_total", "work items fully processed and acked"
+        )
+        self._c_redelivered = registry.counter(
+            "repro_queue_redelivered_total",
+            "in-flight items returned to the queue after a worker crash",
+        )
+        self._g_depth = registry.gauge(
+            "repro_queue_depth", "items currently ready to poll"
+        )
+        self._h_ack_latency = registry.histogram(
+            "repro_queue_ack_latency_seconds",
+            "seconds between an item's poll and its ack",
+        )
+        #: poll wall-clock per in-flight offset (telemetry mode only)
+        self._poll_times: Dict[int, float] = {}
 
     # -- producer ------------------------------------------------------------
 
@@ -62,6 +86,8 @@ class WorkQueue:
         item = WorkItem(offset=offset, timestamp=timestamp, update=update)
         self._log.append(item)
         heapq.heappush(self._ready, offset)
+        self._c_appended.inc()
+        self._g_depth.set(len(self._ready))
         return offset
 
     def close(self) -> None:
@@ -78,6 +104,9 @@ class WorkQueue:
             offset = heapq.heappop(self._ready)
             item = self._log[offset]
             self._in_flight[offset] = item
+            if self._telemetry_on:
+                self._poll_times[offset] = time.perf_counter()
+                self._g_depth.set(len(self._ready))
             return item
 
     def ack(self, offset: int) -> None:
@@ -87,6 +116,11 @@ class WorkQueue:
                 raise OffsetError(f"offset {offset} is not in flight")
             del self._in_flight[offset]
             self._acked.add(offset)
+            self._c_acked.inc()
+            if self._telemetry_on:
+                polled_at = self._poll_times.pop(offset, None)
+                if polled_at is not None:
+                    self._h_ack_latency.observe(time.perf_counter() - polled_at)
 
     def redeliver(self, offset: int) -> None:
         """Return a crashed worker's in-flight item to the queue."""
@@ -95,12 +129,18 @@ class WorkQueue:
                 raise OffsetError(f"offset {offset} is not in flight")
             del self._in_flight[offset]
             heapq.heappush(self._ready, offset)
+            self._c_redelivered.inc()
+            if self._telemetry_on:
+                self._poll_times.pop(offset, None)
+                self._g_depth.set(len(self._ready))
 
     def redeliver_all(self, offsets: List[int]) -> None:
         for offset in offsets:
             self.redeliver(offset)
 
-    def drain(self) -> Iterator[WorkItem]:
+    def drain(
+        self, on_poll: Optional[Callable[[WorkItem], None]] = None
+    ) -> Iterator[WorkItem]:
         """Yield every ready item, acking each one on successful consumption.
 
         An item is acknowledged when the consumer asks for the next one —
@@ -108,13 +148,26 @@ class WorkQueue:
         raises or abandons the generator mid-item, that item stays in
         flight and can be redelivered, preserving at-least-once delivery.
 
-        This is the single queue-drain loop used by every execution path
-        (serial engine, process runner, simulated deployment).
+        ``on_poll`` is invoked with each item right after it is taken; if
+        it raises :class:`~repro.errors.WorkerCrashed` the item is
+        redelivered (never yielded) and draining continues — the worker is
+        considered restarted with fresh soft state, and the redelivered
+        item is re-polled in offset order, so a crashy drain consumes
+        items in exactly the crash-free order.  This is how the streaming
+        session injects :class:`~repro.runtime.fault.FaultInjector` crash
+        points into the one shared drain/ack loop every execution path
+        uses (serial engine, process runner, simulated deployment).
         """
         while True:
             item = self.poll()
             if item is None:
                 return
+            if on_poll is not None:
+                try:
+                    on_poll(item)
+                except WorkerCrashed:
+                    self.redeliver(item.offset)
+                    continue
             yield item
             self.ack(item.offset)
 

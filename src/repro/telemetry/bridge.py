@@ -1,0 +1,83 @@
+"""Bridges from the engine's cumulative counters into the registry.
+
+The exploration hot path keeps accumulating into the light-weight
+:class:`~repro.core.metrics.Metrics` dataclass (one integer add per
+operation — cheaper than any registry lookup); these bridges project those
+cumulative totals into a :class:`~repro.telemetry.registry.MetricsRegistry`
+at snapshot points (end of run, metrics dump).  All bridges use
+``set_total`` so re-bridging the same source is idempotent, and every value
+is deterministic for a given input stream — the basis of the cross-backend
+"identical counter totals" contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.metrics import Metrics
+    from repro.streaming.ingress import IngressNode
+    from repro.telemetry.registry import MetricsRegistry
+
+#: the Figure 6 operation categories as (metrics attr stem, metric stem)
+ENGINE_COUNTERS = (
+    ("filter_calls", "repro_engine_filter_calls_total"),
+    ("match_calls", "repro_engine_match_calls_total"),
+    ("can_expand_calls", "repro_engine_can_expand_calls_total"),
+    ("expansions", "repro_engine_expansions_total"),
+    ("emits", "repro_engine_emits_total"),
+    ("explore_calls", "repro_engine_explore_calls_total"),
+)
+
+ENGINE_SECONDS = (
+    ("filter_seconds", "repro_engine_filter_seconds"),
+    ("match_seconds", "repro_engine_match_seconds"),
+    ("can_expand_seconds", "repro_engine_can_expand_seconds"),
+    ("total_seconds", "repro_engine_total_seconds"),
+)
+
+
+def metrics_to_registry(registry: "MetricsRegistry", metrics: "Metrics") -> None:
+    """Project a merged :class:`Metrics` snapshot into engine counters.
+
+    The call counters are the paper's Figure 6 categories (match / filter /
+    CAN_EXPAND) plus the expansion/emit/explore counts the cluster
+    simulator uses as work units; the ``*_seconds`` gauges carry the
+    cumulative per-category time when ``timing_enabled`` was on.
+    """
+    for attr, name in ENGINE_COUNTERS:
+        registry.counter(name, f"cumulative engine {attr}").set_total(
+            getattr(metrics, attr)
+        )
+    # Wall-clock seconds are real measurements — nondeterministic across
+    # runs and backends — so they are gauges, keeping ``counter_totals()``
+    # (the cross-backend determinism contract) free of timing noise.
+    for attr, name in ENGINE_SECONDS:
+        registry.gauge(name, f"cumulative engine {attr}").set(
+            getattr(metrics, attr)
+        )
+    registry.counter(
+        "repro_engine_work_units_total",
+        "abstract work units of all recorded operations",
+    ).set_total(metrics.work_units())
+
+
+def ingress_to_registry(registry: "MetricsRegistry", ingress: "IngressNode") -> None:
+    """Project the ingress node's net acceptance counters.
+
+    Accepted/dropped are *net* quantities (an add cancelled by a delete in
+    the same window retro-drops both), so they are bridged at snapshot time
+    rather than incremented live.
+    """
+    registry.counter(
+        "repro_ingress_updates_accepted_total",
+        "updates accepted into a window (net of same-window cancellations)",
+    ).set_total(ingress.updates_accepted)
+    registry.counter(
+        "repro_ingress_updates_dropped_total",
+        "updates dropped by sanitization (duplicates, no-ops, cancellations)",
+    ).set_total(ingress.updates_dropped)
+    registry.counter(
+        "repro_ingress_gc_reclaimed_total",
+        "store records reclaimed by garbage collection",
+    ).set_total(ingress.gc_reclaimed)

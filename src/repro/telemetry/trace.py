@@ -1,0 +1,310 @@
+"""Hierarchical span tracing with a bounded ring-buffer recorder.
+
+A :class:`Tracer` produces *spans* — named, timed, attributed intervals —
+that nest naturally (window → task → explore phases) via a per-thread span
+stack.  Completed spans land in a fixed-capacity ring buffer (oldest spans
+are evicted first), so tracing a long run costs bounded memory, and can be
+exported as JSON lines for offline analysis.
+
+Two properties make the tracer safe to wire through hot paths:
+
+* **Null path.** :data:`NULL_TRACER` is a module-level no-op tracer whose
+  :meth:`~NullTracer.span` returns one shared :data:`NULL_SPAN` instance —
+  no allocation, no clock read.  Components hold a tracer unconditionally
+  and branch on ``tracer.enabled`` (or simply call through the null
+  object) without measurable overhead.
+* **Cross-worker shipping.** :meth:`Tracer.absorb` re-parents span records
+  recorded by another tracer (e.g. in a worker process) under the current
+  span, re-assigning ids so the merged trace stays consistent.  This is
+  how the process backend ships its per-task spans back over the same
+  channel that carries merged metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+
+@dataclass
+class SpanRecord:
+    """One completed span, as stored in the ring buffer."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.end - self.start,
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """A live span; use as a context manager around the traced work."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "attrs",
+        "anchored",
+        "span_id",
+        "parent_id",
+        "start",
+        "_prev_anchor",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, attrs: Dict[str, Any], anchored: bool
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.anchored = anchored
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.start = 0.0
+        self._prev_anchor: Optional[int] = None
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span while it is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.tracer._exit(self)
+
+
+class Tracer:
+    """Records hierarchical spans into a bounded ring buffer.
+
+    Span nesting is tracked per thread; spans opened on a thread with an
+    empty stack attach to the tracer's *anchor* span (if one is set via an
+    ``anchored=True`` span), which is how worker-thread task spans parent
+    under the main thread's window span.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 8192, clock=time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._ring: "deque[SpanRecord]" = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._anchor: Optional[int] = None
+        #: total spans ever recorded (the ring may have evicted older ones)
+        self.spans_recorded = 0
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name: str, *, anchored: bool = False, **attrs: Any) -> Span:
+        """Open a new span; enter the returned object as a context manager.
+
+        ``anchored=True`` makes this span the parent of any span opened on
+        a thread with an empty stack while it is active.
+        """
+        return Span(self, name, attrs, anchored)
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.span_id = self._new_id()
+        span.parent_id = stack[-1].span_id if stack else self._anchor
+        if span.anchored:
+            span._prev_anchor = self._anchor
+            self._anchor = span.span_id
+        stack.append(span)
+        span.start = self._clock()
+
+    def _exit(self, span: Span) -> None:
+        end = self._clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if span.anchored:
+            self._anchor = span._prev_anchor
+        record = SpanRecord(
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            name=span.name,
+            start=span.start,
+            end=end,
+            attrs=span.attrs,
+        )
+        with self._lock:
+            self._ring.append(record)
+            self.spans_recorded += 1
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Append a pre-timed span record directly (no stack interaction)."""
+        record = SpanRecord(
+            span_id=self._new_id(),
+            parent_id=parent_id if parent_id is not None else self._anchor,
+            name=name,
+            start=start,
+            end=end,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._ring.append(record)
+            self.spans_recorded += 1
+        return record
+
+    # -- cross-worker shipping ---------------------------------------------
+
+    def absorb(
+        self, records: Iterable[SpanRecord], parent_id: Optional[int] = None
+    ) -> None:
+        """Merge spans recorded elsewhere, re-parenting their roots here.
+
+        Ids are re-assigned from this tracer's sequence (preserving the
+        internal parent structure of the absorbed batch); root spans of the
+        batch attach to ``parent_id``, the current open span, or the anchor.
+        """
+        records = list(records)
+        if not records:
+            return
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1].span_id if stack else self._anchor
+        id_map: Dict[int, int] = {}
+        for record in records:
+            id_map[record.span_id] = self._new_id()
+        with self._lock:
+            for record in records:
+                remapped_parent = (
+                    id_map[record.parent_id]
+                    if record.parent_id in id_map
+                    else parent_id
+                )
+                self._ring.append(
+                    SpanRecord(
+                        span_id=id_map[record.span_id],
+                        parent_id=remapped_parent,
+                        name=record.name,
+                        start=record.start,
+                        end=record.end,
+                        attrs=record.attrs,
+                    )
+                )
+                self.spans_recorded += 1
+
+    # -- introspection / export --------------------------------------------
+
+    def records(self) -> List[SpanRecord]:
+        """Buffered span records, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def to_jsonl(self) -> str:
+        """The buffered spans as JSON lines (one span per line)."""
+        return "\n".join(
+            json.dumps(r.to_dict(), sort_keys=True, default=str)
+            for r in self.records()
+        )
+
+    def export_jsonl(self, out: TextIO) -> int:
+        """Write the buffered spans as JSON lines; returns spans written."""
+        records = self.records()
+        for record in records:
+            out.write(json.dumps(record.to_dict(), sort_keys=True, default=str))
+            out.write("\n")
+        return len(records)
+
+
+class NullSpan:
+    """Shared no-op span: entering, exiting, and ``set`` do nothing."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op, nothing allocates."""
+
+    enabled = False
+    capacity = 0
+    spans_recorded = 0
+
+    def span(self, name: str, *, anchored: bool = False, **attrs: Any) -> NullSpan:
+        return NULL_SPAN
+
+    def record(self, name, start, end, parent_id=None, **attrs):
+        return None
+
+    def absorb(self, records, parent_id=None) -> None:
+        return None
+
+    def records(self) -> List[SpanRecord]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def to_jsonl(self) -> str:
+        return ""
+
+    def export_jsonl(self, out: TextIO) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,98 @@
+"""Property tests: registry merging is order-independent.
+
+Per-worker registries are merged into one snapshot at exposition time; for
+that snapshot to be deterministic the merge must be commutative and
+associative across counters, gauges, labeled children, and histograms.
+The property: merging any permutation of worker registries — pairwise or
+folded in any grouping — yields byte-identical ``dump()`` output in both
+exposition formats.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import MetricsRegistry
+
+BOUNDS = (0.5, 2.0, 8.0)
+
+#: one worker's recorded activity: lists of instrument events
+worker_activity = st.fixed_dictionaries(
+    {
+        "counts": st.lists(
+            st.tuples(
+                st.sampled_from(["a_total", "b_total"]),
+                st.sampled_from(["", "x", "y"]),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=6,
+        ),
+        "gauges": st.lists(
+            st.tuples(
+                st.sampled_from(["depth", "lag"]),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            max_size=4,
+        ),
+        "observations": st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            max_size=6,
+        ),
+    }
+)
+
+
+def build_registry(activity) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for name, label, n in activity["counts"]:
+        fam = reg.counter(name, "c")
+        (fam.labels(op=label) if label else fam.labels()).inc(n)
+    for name, delta in activity["gauges"]:
+        reg.gauge(name, "g").inc(delta)
+    for value in activity["observations"]:
+        reg.histogram("h_seconds", "h", buckets=BOUNDS).observe(value)
+    return reg
+
+
+def merged(parts) -> MetricsRegistry:
+    out = MetricsRegistry()
+    for part in parts:
+        out.merge(part)
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    workers=st.lists(worker_activity, min_size=1, max_size=5),
+    permutation=st.randoms(use_true_random=False),
+)
+def test_merge_is_order_independent(workers, permutation):
+    registries = [build_registry(w) for w in workers]
+    baseline = merged(registries)
+
+    shuffled = list(registries)
+    permutation.shuffle(shuffled)
+    assert merged(shuffled).dump("prom") == baseline.dump("prom")
+    assert merged(shuffled).dump("json") == baseline.dump("json")
+
+
+@settings(max_examples=40, deadline=None)
+@given(workers=st.lists(worker_activity, min_size=2, max_size=4))
+def test_merge_is_associative(workers):
+    registries = [build_registry(w) for w in workers]
+    left_fold = merged(registries)
+
+    # Right fold: merge the tail into an accumulator first, then the head.
+    tail = merged(registries[1:])
+    right = MetricsRegistry()
+    right.merge(registries[0])
+    right.merge(tail)
+    assert right.dump("prom") == left_fold.dump("prom")
+
+
+@settings(max_examples=40, deadline=None)
+@given(activity=worker_activity)
+def test_merge_into_empty_is_identity(activity):
+    reg = build_registry(activity)
+    out = MetricsRegistry()
+    out.merge(reg)
+    assert out.dump("prom") == reg.dump("prom")
+    assert out.counter_totals() == reg.counter_totals()
