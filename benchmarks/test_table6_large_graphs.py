@@ -149,7 +149,7 @@ def test_table6_incremental_large_graphs(benchmark, dataset):
     )
     record(f"table6_{dataset}", results)
 
-    for name, r in results.items():
+    for r in results.values():
         assert r["deltas"] > 0
         assert r["time_8m"] < r["time_1m"]
         # near-linear scaling (paper: 7.5x-9.7x; the superlinear DC effect

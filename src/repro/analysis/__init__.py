@@ -1,0 +1,117 @@
+"""repro-lint: project-specific static analysis for the Tesseract repro.
+
+Run it as ``python -m repro.analysis src/repro`` (or ``repro lint``).  The
+framework lives in :mod:`repro.analysis.core` (driver, registry,
+suppressions), the shipped invariants in :mod:`repro.analysis.rules`
+(RL001–RL005), configuration in :mod:`repro.analysis.config`
+(``[tool.repro-lint]`` in ``pyproject.toml``), and output formats in
+:mod:`repro.analysis.reporters`.  See ``docs/internals.md`` ("Static
+analysis") for what each rule protects and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.core import (
+    RULES,
+    ModuleContext,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_source,
+    rule,
+)
+from repro.analysis.reporters import render, to_json, to_text
+
+__all__ = [
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "Violation",
+    "build_parser",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+    "rule",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker: determinism, backend purity, "
+            "lock and telemetry discipline (rules RL001-RL005)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format printed to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (overrides pyproject)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml to read [tool.repro-lint] from",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point shared by ``python -m repro.analysis`` and ``repro lint``."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        from repro.analysis.reporters import list_rules
+
+        sys.stdout.write(list_rules())
+        return 0
+    try:
+        config = load_config(
+            pyproject=Path(args.config) if args.config else None,
+            start=Path(args.paths[0]).resolve() if args.paths else Path.cwd(),
+        )
+        if args.select:
+            config = LintConfig(
+                select=tuple(
+                    part.strip() for part in args.select.split(",") if part.strip()
+                ),
+                ignore=(),
+                exclude=config.exclude,
+                hot_path_modules=config.hot_path_modules,
+                thread_safe_classes=config.thread_safe_classes,
+            )
+        violations, files_checked = lint_paths(args.paths, config)
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(render(args.format, violations, files_checked))
+    if args.json_output:
+        Path(args.json_output).write_text(to_json(violations, files_checked))
+    return 1 if violations else 0

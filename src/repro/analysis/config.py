@@ -1,0 +1,112 @@
+"""repro-lint configuration: defaults plus ``[tool.repro-lint]`` overrides.
+
+Configuration lives in ``pyproject.toml`` so rule selection rides with the
+repo, not the invocation::
+
+    [tool.repro-lint]
+    select = ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    exclude = ["**/_version.py"]
+    hot-path-modules = ["repro.core", "repro.runtime"]
+    thread-safe-classes = ["SomeLockFreeRegistry"]
+
+TOML parsing uses the standard-library ``tomllib`` (Python >= 3.11).  On
+3.10 — where the container ships no TOML reader and this repo installs no
+third-party dependencies — the loader falls back to :class:`LintConfig`
+defaults, which are kept in sync with the checked-in ``pyproject.toml`` so
+both CI Python versions enforce the same rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+#: every shipped invariant rule, in report order
+DEFAULT_SELECT: Tuple[str, ...] = ("RL001", "RL002", "RL003", "RL004", "RL005")
+
+#: modules whose hot paths must use the telemetry null objects (RL004)
+DEFAULT_HOT_PATH_MODULES: Tuple[str, ...] = (
+    "repro.core",
+    "repro.runtime",
+    "repro.streaming",
+    "repro.dataflow",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved repro-lint settings (defaults mirror ``pyproject.toml``)."""
+
+    select: Tuple[str, ...] = DEFAULT_SELECT
+    ignore: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+    hot_path_modules: Tuple[str, ...] = DEFAULT_HOT_PATH_MODULES
+    thread_safe_classes: Tuple[str, ...] = ()
+
+    def enabled_rules(self) -> Tuple[str, ...]:
+        return tuple(r for r in self.select if r not in self.ignore)
+
+    def is_hot_path(self, module: str) -> bool:
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.hot_path_modules
+        )
+
+
+_KEY_MAP = {
+    "select": "select",
+    "ignore": "ignore",
+    "exclude": "exclude",
+    "hot-path-modules": "hot_path_modules",
+    "thread-safe-classes": "thread_safe_classes",
+}
+
+
+def config_from_table(table: dict) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``[tool.repro-lint]`` mapping."""
+    config = LintConfig()
+    overrides = {}
+    for key, value in table.items():
+        attr = _KEY_MAP.get(key)
+        if attr is None:
+            raise ValueError(
+                f"unknown [tool.repro-lint] key {key!r}; "
+                f"expected one of {sorted(_KEY_MAP)}"
+            )
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ValueError(f"[tool.repro-lint] {key} must be a list of strings")
+        overrides[attr] = tuple(value)
+    return replace(config, **overrides)
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    for directory in [start, *start.parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(
+    pyproject: Optional[Path] = None, start: Optional[Path] = None
+) -> LintConfig:
+    """Load config from an explicit pyproject, by discovery, or defaults."""
+    if pyproject is None:
+        pyproject = find_pyproject(start if start is not None else Path.cwd())
+    if pyproject is None or tomllib is None:
+        return LintConfig()
+    with open(pyproject, "rb") as fh:
+        document = tomllib.load(fh)
+    table = document.get("tool", {}).get("repro-lint")
+    if table is None:
+        return LintConfig()
+    return config_from_table(table)

@@ -15,11 +15,16 @@ Commands
 
 ``datasets``
     List the available dataset stand-ins.
+
+``lint``
+    Run repro-lint, the project's AST-based invariant checker
+    (:mod:`repro.analysis`), over the source tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 import time
 from typing import List, Optional
@@ -177,7 +182,6 @@ def cmd_mine(args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     """Self-check: incremental mining == brute force on random graphs."""
     import itertools
-    import random
 
     from repro.core.engine import TesseractEngine, collect_matches
     from repro.graph.adjacency import AdjacencyGraph
@@ -213,6 +217,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
                   f"{len(live):>3} matches ... {status}")
     print(f"{args.trials - failures}/{args.trials} trials exact")
     return 1 if failures else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run repro-lint (``repro.analysis``) over the given paths."""
+    from repro.analysis import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.list_rules:
+        argv.append("--list-rules")
+    argv += ["--format", args.format]
+    if args.json_output:
+        argv += ["--json-output", args.json_output]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.config:
+        argv += ["--config", args.config]
+    return lint_main(argv)
 
 
 def cmd_motifs(args: argparse.Namespace) -> int:
@@ -289,6 +310,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "lint", help="run the repro-lint invariant checker (rules RL001-RL005)"
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--json-output", metavar="FILE")
+    p.add_argument("--select", metavar="RULES")
+    p.add_argument("--config", metavar="PYPROJECT")
+    p.add_argument("--list-rules", action="store_true")
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

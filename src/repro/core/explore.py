@@ -37,31 +37,28 @@ class Explorer:
         hard_limit: int = 12,
         telemetry=None,
     ) -> None:
+        from repro.telemetry import ensure
+
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else Metrics()
         self.hard_limit = max(hard_limit, algorithm.max_size + 1)
         # Figure 6 categories as per-call duration histograms.  Observations
         # happen inside the already timing-gated Stopwatch blocks, so the
-        # untimed hot path never touches the registry; with no telemetry
-        # the histograms are None and the Stopwatch skips them entirely.
-        if telemetry is not None and telemetry.enabled:
-            registry = telemetry.registry
-            self._hist_filter = registry.histogram(
-                "repro_engine_filter_call_seconds",
-                "duration of individual filter calls (timing mode only)",
-            ).labels()
-            self._hist_match = registry.histogram(
-                "repro_engine_match_call_seconds",
-                "duration of individual match calls (timing mode only)",
-            ).labels()
-            self._hist_can_expand = registry.histogram(
-                "repro_engine_can_expand_call_seconds",
-                "duration of individual CAN_EXPAND calls (timing mode only)",
-            ).labels()
-        else:
-            self._hist_filter = None
-            self._hist_match = None
-            self._hist_can_expand = None
+        # untimed hot path never touches the registry; with no telemetry the
+        # null registry hands back the shared no-op instrument (RL004).
+        registry = ensure(telemetry).registry
+        self._hist_filter = registry.histogram(
+            "repro_engine_filter_call_seconds",
+            "duration of individual filter calls (timing mode only)",
+        ).labels()
+        self._hist_match = registry.histogram(
+            "repro_engine_match_call_seconds",
+            "duration of individual match calls (timing mode only)",
+        ).labels()
+        self._hist_can_expand = registry.histogram(
+            "repro_engine_can_expand_call_seconds",
+            "duration of individual CAN_EXPAND calls (timing mode only)",
+        ).labels()
         # Per-exploration state (reset by explore_update).
         self._view: ExplorationView = None  # type: ignore[assignment]
         self._verts: List[VertexId] = []

@@ -11,6 +11,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
+from repro.telemetry.registry import NULL_INSTRUMENT
+
 
 @dataclass
 class Metrics:
@@ -107,7 +109,8 @@ class Stopwatch:
     When timing runs, the elapsed seconds are also observed into
     ``histogram`` (a telemetry histogram instrument) if one is given, so
     the Figure 6 categories can be recorded as per-call distributions, not
-    just cumulative totals.
+    just cumulative totals.  A missing histogram coalesces onto the shared
+    no-op instrument, so the exit path never branches on it (RL004).
     """
 
     __slots__ = ("metrics", "field_name", "histogram", "_start")
@@ -115,7 +118,7 @@ class Stopwatch:
     def __init__(self, metrics: Metrics, field_name: str, histogram=None) -> None:
         self.metrics = metrics
         self.field_name = field_name
-        self.histogram = histogram
+        self.histogram = histogram if histogram is not None else NULL_INSTRUMENT
         self._start: float = -1.0
 
     def __enter__(self) -> "Stopwatch":
@@ -134,5 +137,4 @@ class Stopwatch:
             self.field_name,
             getattr(self.metrics, self.field_name) + elapsed,
         )
-        if self.histogram is not None:
-            self.histogram.observe(elapsed)
+        self.histogram.observe(elapsed)

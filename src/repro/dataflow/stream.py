@@ -33,6 +33,7 @@ from typing import (
 
 from repro.dataflow.aggregation import Aggregator, CountAggregator
 from repro.errors import DataflowError
+from repro.telemetry.registry import NULL_INSTRUMENT, NULL_REGISTRY
 from repro.types import MatchDelta, Timestamp
 
 
@@ -70,9 +71,10 @@ class Stream:
 
     def __init__(self) -> None:
         self._downstream: List[Stream] = []
-        #: per-operator record counter; ``None`` keeps push at zero overhead
-        self._records_counter = None
-        self._registry = None
+        #: per-operator record counter; the null instrument keeps push
+        #: branch-free whether or not telemetry is bound (RL004)
+        self._records_counter = NULL_INSTRUMENT
+        self._registry = NULL_REGISTRY
 
     # -- construction --------------------------------------------------------
 
@@ -82,8 +84,7 @@ class Stream:
 
     def _attach(self, node: "Stream") -> "Stream":
         self._downstream.append(node)
-        if self._registry is not None:
-            node.bind_telemetry(self._registry)
+        node.bind_telemetry(self._registry)
         return node
 
     # -- telemetry -------------------------------------------------------
@@ -97,7 +98,8 @@ class Stream:
         Each operator gets one child of ``repro_dataflow_records_total``
         labeled with its lowercase class name (``map``, ``filter``,
         ``aggregatenode``, ...); operators attached later inherit the
-        binding.  Unbound streams pay a single ``is None`` test per record.
+        binding.  Unbound streams hold the shared no-op instrument, so
+        the per-record path is identical either way.
         """
         self._registry = registry
         self._records_counter = registry.counter(
@@ -111,8 +113,7 @@ class Stream:
     # -- data entry ------------------------------------------------------
 
     def push(self, record: Record) -> None:
-        if self._records_counter is not None:
-            self._records_counter.inc()
+        self._records_counter.inc()
         for out in self._process(record):
             for node in self._downstream:
                 node.push(out)
@@ -309,8 +310,7 @@ class _JoinSide(Stream):
         return self
 
     def push(self, record: Record) -> None:  # bypass _process/_downstream
-        if self._records_counter is not None:
-            self._records_counter.inc()
+        self._records_counter.inc()
         self.join.push_side(record, self.left)
 
 
@@ -334,8 +334,7 @@ class _StreamJoin(Stream):
         self._right: Dict[Hashable, Dict[Any, int]] = {}
 
     def push_side(self, record: Record, left: bool) -> None:
-        if self._records_counter is not None:
-            self._records_counter.inc()
+        self._records_counter.inc()
         key = (self.left_key if left else self.right_key)(record.value)
         mine = self._left if left else self._right
         theirs = self._right if left else self._left

@@ -157,7 +157,7 @@ class SubgraphView:
     def out_degree(self, v: VertexId) -> int:
         """Number of subgraph arcs leaving ``v`` (undirected count too)."""
         count = 0
-        for i, u in enumerate(self._vertices):
+        for u in self._vertices:
             if u != v and self.has_edge(v, u) and self.has_directed_edge(v, u):
                 count += 1
         return count

@@ -53,7 +53,7 @@ from repro.core.api import MiningAlgorithm
 from repro.core.engine import TesseractEngine
 from repro.core.metrics import Metrics
 from repro.store.mvstore import MultiVersionStore
-from repro.telemetry import MetricsRegistry, Telemetry, ensure
+from repro.telemetry import NULL_REGISTRY, NULL_TELEMETRY, MetricsRegistry, Telemetry, ensure
 from repro.types import EdgeUpdate, MatchDelta, TaskTrace, Timestamp
 
 #: One unit of backend work: explore a single edge update at a timestamp.
@@ -104,10 +104,15 @@ class ExecutionBackend(abc.ABC):
         return []
 
     @staticmethod
-    def _worker_telemetry(telemetry) -> "Telemetry | None":
-        """A per-worker telemetry view: shared tracer, private registry."""
-        if telemetry is None or not telemetry.enabled:
-            return None
+    def _worker_telemetry(telemetry) -> "Telemetry":
+        """A per-worker telemetry view: shared tracer, private registry.
+
+        Disabled telemetry coalesces onto :data:`NULL_TELEMETRY`, so
+        callers branch on ``.enabled`` rather than ``is None`` (RL004).
+        """
+        telemetry = ensure(telemetry)
+        if not telemetry.enabled:
+            return telemetry
         return Telemetry(tracer=telemetry.tracer, registry=MetricsRegistry())
 
     def record_window(self, wall_seconds: float) -> None:
@@ -145,7 +150,7 @@ class SerialBackend(ExecutionBackend):
         )
 
     def worker_registries(self) -> List[MetricsRegistry]:
-        return [self._worker_tel.registry] if self._worker_tel is not None else []
+        return [self._worker_tel.registry] if self._worker_tel.enabled else []
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         deltas: List[MatchDelta] = []
@@ -202,7 +207,7 @@ class ThreadBackend(ExecutionBackend):
         ]
 
     def worker_registries(self) -> List[MetricsRegistry]:
-        return [tel.registry for tel in self._worker_tels if tel is not None]
+        return [tel.registry for tel in self._worker_tels if tel.enabled]
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         if not tasks:
@@ -278,7 +283,7 @@ def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
     # on, per-task spans and a per-task registry) we can ship back and merge
     # deterministically (in task order) on the caller side — spans travel
     # over the exact same channel as the merged metrics.
-    telemetry = Telemetry(trace_capacity=256) if _WORKER_TELEMETRY_ON else None
+    telemetry = Telemetry(trace_capacity=256) if _WORKER_TELEMETRY_ON else NULL_TELEMETRY
     engine = TesseractEngine(
         _WORKER_STORE,
         _WORKER_ALGORITHM,
@@ -286,8 +291,8 @@ def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
         worker_label=os.getpid(),
     )
     deltas = engine.process_update(ts, update)
-    if telemetry is None:
-        return index, deltas, engine.metrics, None, None
+    # With telemetry off the null tracer ships an empty span list and the
+    # null registry merges as a no-op — one return shape either way.
     return (
         index,
         deltas,
@@ -325,9 +330,10 @@ class ProcessBackend(ExecutionBackend):
         self._metrics = metrics if metrics is not None else Metrics()
         self.telemetry = ensure(telemetry)
         self._worker_tel = self._worker_telemetry(telemetry)
-        # Registry accumulating what worker processes ship back per batch.
+        # Registry accumulating what worker processes ship back per batch;
+        # the null registry swallows merges when telemetry is off.
         self._shipped_registry = (
-            MetricsRegistry() if self.telemetry.enabled else None
+            MetricsRegistry() if self.telemetry.enabled else NULL_REGISTRY
         )
         # The inline fallback engine accumulates into the same metrics.
         self._inline = TesseractEngine(
@@ -363,8 +369,7 @@ class ProcessBackend(ExecutionBackend):
                 # Re-parent the worker's spans under the caller's current
                 # span (the session's open window span).
                 self.telemetry.tracer.absorb(spans)
-            if registry is not None and self._shipped_registry is not None:
-                self._shipped_registry.merge(registry)
+            self._shipped_registry.merge(registry)
         return out
 
     def metrics(self) -> Metrics:
@@ -377,9 +382,9 @@ class ProcessBackend(ExecutionBackend):
 
     def worker_registries(self) -> List[MetricsRegistry]:
         out = []
-        if self._worker_tel is not None:
+        if self._worker_tel.enabled:
             out.append(self._worker_tel.registry)
-        if self._shipped_registry is not None:
+        if self.telemetry.enabled:
             out.append(self._shipped_registry)
         return out
 

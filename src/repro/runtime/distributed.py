@@ -136,7 +136,18 @@ class SimulatedDeployment:
             work_before = metrics.work_units()
             fetch_before = client.log.simulated_seconds
 
-            def run_one():
+            def run_one(
+                # bind per-iteration state eagerly (B023): the closure is
+                # invoked inside this iteration, but late binding would be
+                # an easy bug to introduce when refactoring the span logic
+                explorer=explorer,
+                client=client,
+                metrics=metrics,
+                ts=ts,
+                update=update,
+                work_before=work_before,
+                fetch_before=fetch_before,
+            ):
                 out = explorer.explore_update(ExplorationView(client, ts), update)
                 return out, (
                     self.dequeue_seconds

@@ -14,8 +14,9 @@ so its behaviour is unit-testable without wall clocks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 
 @dataclass
@@ -67,29 +68,36 @@ class AdaptiveWindowController:
             )
         return self._current
 
-    def drive(self, system, updates, flush_every: Optional[int] = None):
+    def drive(
+        self,
+        system,
+        updates,
+        flush_every: Optional[int] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
         """Feed ``updates`` through a TesseractSystem, adapting as it goes.
 
         Submits updates in controller-sized windows (closing each window
         explicitly), processes them, observes the measured latency, and
-        resizes.  Returns the per-window (size, latency) history.
+        resizes.  Returns the per-window (size, latency) history.  The
+        monotonic ``clock`` is injectable so tests can drive the controller
+        with synthetic latencies; measured seconds feed only the resizing
+        decision and the history, never the result stream.
         """
-        import time
-
         buffered = 0
         for update in updates:
             system.submit(update)
             buffered += 1
             if buffered >= self._current:
                 size = buffered
-                start = time.perf_counter()
+                start = clock()
                 system.ingress.close_window()
                 system.run_workers()
-                self.observe(size, time.perf_counter() - start)
+                self.observe(size, clock() - start)
                 buffered = 0
         if buffered:
-            start = time.perf_counter()
+            start = clock()
             system.ingress.close_window()
             system.run_workers()
-            self.observe(buffered, time.perf_counter() - start)
+            self.observe(buffered, clock() - start)
         return list(self.history)

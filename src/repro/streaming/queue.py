@@ -74,25 +74,27 @@ class WorkQueue:
 
     def append(self, timestamp: Timestamp, update: EdgeUpdate) -> int:
         """Durably append an item; returns its offset."""
-        if self._closed:
-            raise QueueClosedError("cannot append to a closed queue")
-        if timestamp < self._last_ts:
-            raise OffsetError(
-                f"timestamps must be non-decreasing (got {timestamp} "
-                f"after {self._last_ts})"
-            )
-        self._last_ts = timestamp
-        offset = len(self._log)
-        item = WorkItem(offset=offset, timestamp=timestamp, update=update)
-        self._log.append(item)
-        heapq.heappush(self._ready, offset)
-        self._c_appended.inc()
-        self._g_depth.set(len(self._ready))
-        return offset
+        with self._lock:
+            if self._closed:
+                raise QueueClosedError("cannot append to a closed queue")
+            if timestamp < self._last_ts:
+                raise OffsetError(
+                    f"timestamps must be non-decreasing (got {timestamp} "
+                    f"after {self._last_ts})"
+                )
+            self._last_ts = timestamp
+            offset = len(self._log)
+            item = WorkItem(offset=offset, timestamp=timestamp, update=update)
+            self._log.append(item)
+            heapq.heappush(self._ready, offset)
+            self._c_appended.inc()
+            self._g_depth.set(len(self._ready))
+            return offset
 
     def close(self) -> None:
         """Stop accepting new items; consumers drain what remains."""
-        self._closed = True
+        with self._lock:
+            self._closed = True
 
     # -- consumer --------------------------------------------------------
 

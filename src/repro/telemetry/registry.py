@@ -467,6 +467,9 @@ NULL_INSTRUMENT = NullInstrument()
 class NullRegistry:
     """The disabled registry: hands out the shared no-op instrument."""
 
+    #: empty family table so ``MetricsRegistry.merge(NULL_REGISTRY)`` is a no-op
+    _families: Dict[str, Family] = {}
+
     def counter(self, name: str, help: str = "") -> NullInstrument:
         return NULL_INSTRUMENT
 

@@ -143,11 +143,16 @@ class Tracer:
 
     def _enter(self, span: Span) -> None:
         stack = self._stack()
-        span.span_id = self._new_id()
-        span.parent_id = stack[-1].span_id if stack else self._anchor
-        if span.anchored:
-            span._prev_anchor = self._anchor
-            self._anchor = span.span_id
+        # One critical section covers id allocation, parent resolution, and
+        # the anchor hand-off (the lock is not reentrant, so the id bump is
+        # inlined here rather than calling _new_id).
+        with self._lock:
+            self._next_id += 1
+            span.span_id = self._next_id
+            span.parent_id = stack[-1].span_id if stack else self._anchor
+            if span.anchored:
+                span._prev_anchor = self._anchor
+                self._anchor = span.span_id
         stack.append(span)
         span.start = self._clock()
 
@@ -156,8 +161,6 @@ class Tracer:
         stack = self._stack()
         if stack and stack[-1] is span:
             stack.pop()
-        if span.anchored:
-            self._anchor = span._prev_anchor
         record = SpanRecord(
             span_id=span.span_id,
             parent_id=span.parent_id,
@@ -167,6 +170,8 @@ class Tracer:
             attrs=span.attrs,
         )
         with self._lock:
+            if span.anchored:
+                self._anchor = span._prev_anchor
             self._ring.append(record)
             self.spans_recorded += 1
 

@@ -1,0 +1,157 @@
+"""Framework-level tests for repro-lint: suppressions, config, CLI, dogfood."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, lint_paths, lint_source, main
+from repro.analysis.config import config_from_table, load_config
+from repro.analysis.core import RULES, active_rules
+from repro.analysis.reporters import render, to_text
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+FLAGGED = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+class TestSuppressions:
+    def test_line_suppression(self):
+        src = FLAGGED.replace(
+            "return time.time()", "return time.time()  # repro: ignore[RL001]"
+        )
+        assert lint_source(src, "src/repro/runtime/_f.py") == []
+
+    def test_line_suppression_is_rule_specific(self):
+        src = FLAGGED.replace(
+            "return time.time()", "return time.time()  # repro: ignore[RL002]"
+        )
+        assert [v.rule_id for v in lint_source(src, "src/repro/runtime/_f.py")] == [
+            "RL001"
+        ]
+
+    def test_file_suppression(self):
+        src = "# repro: ignore-file[RL001]\n" + FLAGGED
+        assert lint_source(src, "src/repro/runtime/_f.py") == []
+
+    def test_multiple_rules_in_one_comment(self):
+        src = FLAGGED.replace(
+            "return time.time()",
+            "return time.time()  # repro: ignore[RL001, RL002]",
+        )
+        assert lint_source(src, "src/repro/runtime/_f.py") == []
+
+
+class TestConfig:
+    def test_registry_has_exactly_the_shipped_rules(self):
+        assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_unknown_rule_id_is_an_error(self):
+        with pytest.raises(ValueError, match="RL999"):
+            active_rules(LintConfig(select=("RL999",)))
+
+    def test_select_and_ignore(self):
+        config = LintConfig(select=("RL001", "RL003"), ignore=("RL003",))
+        assert [r.rule_id for r in active_rules(config)] == ["RL001"]
+
+    def test_config_from_table(self):
+        config = config_from_table(
+            {
+                "select": ["RL001"],
+                "hot-path-modules": ["repro.core"],
+                "thread-safe-classes": ["Box"],
+            }
+        )
+        assert config.select == ("RL001",)
+        assert config.is_hot_path("repro.core.engine")
+        assert not config.is_hot_path("repro.runtime.backend")
+        assert config.thread_safe_classes == ("Box",)
+
+    def test_config_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="no-such-key"):
+            config_from_table({"no-such-key": []})
+
+    def test_load_config_reads_repo_pyproject(self):
+        config = load_config(pyproject=REPO / "pyproject.toml")
+        assert config.enabled_rules() == ("RL001", "RL002", "RL003", "RL004", "RL005")
+
+
+class TestReporters:
+    def test_text_clean_summary(self):
+        assert to_text([], 3) == "repro-lint: clean (3 files)\n"
+
+    def test_render_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            render("xml", [], 0)
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_violation_with_json_artifact(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "runtime"
+        target.mkdir(parents=True)
+        bad = target / "bad.py"
+        bad.write_text(FLAGGED)
+        artifact = tmp_path / "report.json"
+        assert main([str(bad), "--json-output", str(artifact)]) == 1
+        assert "RL001" in capsys.readouterr().out
+        doc = json.loads(artifact.read_text())
+        assert doc["counts"] == {"RL001": 1}
+
+    def test_select_flag(self, tmp_path):
+        target = tmp_path / "repro" / "runtime"
+        target.mkdir(parents=True)
+        (target / "bad.py").write_text(FLAGGED)
+        assert main([str(target / "bad.py"), "--select", "RL002"]) == 0
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "f.py"
+        target.write_text("x = 1\n")
+        assert main([str(target), "--select", "RL999"]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+    def test_repro_lint_subcommand(self, tmp_path):
+        from repro.cli import main as repro_main
+
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert repro_main(["lint", str(target)]) == 0
+
+    def test_module_entry_point(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(target)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestDogfood:
+    def test_src_repro_is_clean(self):
+        """The shipped tree must satisfy its own invariants (acceptance)."""
+        config = load_config(pyproject=REPO / "pyproject.toml")
+        violations, files_checked = lint_paths([str(SRC)], config)
+        assert violations == [], to_text(violations, files_checked)
+        assert files_checked > 70

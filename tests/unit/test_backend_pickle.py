@@ -1,0 +1,96 @@
+"""Regression tests: everything the process backend ships must pickle.
+
+The process backend sends its initializer, task callable, their arguments,
+and each task's result tuple across process boundaries.  A lambda, nested
+function, or unpicklable payload anywhere on that path only fails at
+runtime under the spawn start method — these tests make the contract
+explicit (and are what rule RL002 of repro-lint guards statically).
+"""
+
+import pickle
+
+import pytest
+
+from repro.apps import CliqueMining, DiamondMining, MotifCounting, PathMining
+from repro.runtime.backend import _init_process_worker, _run_process_task
+from repro.store.mvstore import MultiVersionStore
+from repro.telemetry import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.types import EdgeUpdate
+
+
+def _roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestTaskCallablesPickle:
+    def test_initializer_and_task_are_module_level(self):
+        # Pool callables pickle by qualified name: they must resolve back
+        # to the same module-level objects.
+        assert _roundtrip(_init_process_worker) is _init_process_worker
+        assert _roundtrip(_run_process_task) is _run_process_task
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [
+            CliqueMining(4, min_size=3),
+            MotifCounting(3, min_size=3),
+            PathMining(3),
+            DiamondMining(),
+        ],
+        ids=lambda a: type(a).__name__,
+    )
+    def test_algorithms_pickle(self, algorithm):
+        clone = _roundtrip(algorithm)
+        assert type(clone) is type(algorithm)
+        assert clone.max_size == algorithm.max_size
+
+    def test_store_pickles_with_history(self):
+        store = MultiVersionStore()
+        store.add_edge(1, 2, ts=1)
+        store.add_edge(2, 3, ts=2)
+        store.delete_edge(1, 2, ts=3)
+        clone = _roundtrip(store)
+        assert clone.edge_alive_at(2, 3, 3)
+        assert not clone.edge_alive_at(1, 2, 3)
+        assert clone.edge_alive_at(1, 2, 2)
+
+    def test_initargs_tuple_pickles(self):
+        store = MultiVersionStore()
+        store.add_edge(1, 2, ts=1)
+        initargs = (store, CliqueMining(3, min_size=3), False)
+        clone = _roundtrip(initargs)
+        assert clone[2] is False
+
+
+class TestShippedResultsPickle:
+    def _run(self, telemetry_on):
+        # The backend ships the store with the batch pre-applied, so the
+        # explored update must already exist at its timestamp.
+        store = MultiVersionStore()
+        store.add_edge(1, 2, ts=1)
+        store.add_edge(2, 3, ts=1)
+        store.add_edge(1, 3, ts=2)
+        _init_process_worker(store, CliqueMining(3, min_size=3), telemetry_on)
+        return _run_process_task((0, 2, EdgeUpdate(1, 3, added=True)))
+
+    def test_result_tuple_pickles_with_telemetry_off(self):
+        result = _roundtrip(self._run(telemetry_on=False))
+        index, deltas, metrics, spans, registry = result
+        assert index == 0
+        assert deltas  # closing the triangle emits at least one match
+        assert spans == []
+        # The disabled path ships the null registry; merging it anywhere
+        # must stay a no-op after the round trip.
+        assert isinstance(registry, NullRegistry)
+        assert registry.counter_totals() == {}
+
+    def test_result_tuple_pickles_with_telemetry_on(self):
+        result = _roundtrip(self._run(telemetry_on=True))
+        index, deltas, metrics, spans, registry = result
+        assert deltas
+        assert spans, "telemetry on must ship engine spans back"
+        assert isinstance(registry, MetricsRegistry)
+        assert metrics.emits >= 1
+
+    def test_null_registry_pickles(self):
+        assert isinstance(_roundtrip(NULL_REGISTRY), NullRegistry)

@@ -87,7 +87,7 @@ class TestSimulator:
         """Tasks touching a working set larger than one machine's cache see
         fewer misses on more machines — the superlinear effect."""
         tasks = []
-        for rep in range(6):
+        for _rep in range(6):
             for block in range(8):
                 touched = tuple(range(block * 50, block * 50 + 50))
                 tasks.append(task(block * 50, block * 50 + 1, 1.0, touched=touched))
