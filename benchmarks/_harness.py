@@ -43,8 +43,10 @@ from repro.types import MatchDelta, TaskTrace, Update
 
 RESULTS_PATH = Path(__file__).parent / "results.json"
 
-#: repo-root results file for this PR's telemetry-sourced measurements
-BENCH_PR2_PATH = Path(__file__).parent.parent / "BENCH_PR2.json"
+#: repo-root results file for the current PR's measurements; earlier
+#: BENCH_PR*.json files are kept as the trajectory that
+#: ``benchmarks/check_trajectory.py`` gates against
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_PR4.json"
 
 #: scaled default window size (paper: 100K updates per window)
 WINDOW = 100
@@ -213,16 +215,16 @@ def record(experiment: str, data: Dict) -> None:
     """Merge one experiment's measurements into both results files.
 
     ``benchmarks/results.json`` keeps the cumulative history that
-    EXPERIMENTS.md summarizes; repo-root ``BENCH_PR2.json`` carries the
-    registry-sourced numbers for this PR's artifacts.
+    EXPERIMENTS.md summarizes; repo-root ``BENCH_PR4.json`` carries the
+    current PR's numbers for the cross-PR trajectory gate.
     """
     _merge_json(RESULTS_PATH, experiment, data)
-    _merge_json(BENCH_PR2_PATH, experiment, data)
+    _merge_json(BENCH_PATH, experiment, data)
 
 
 def record_bench(experiment: str, data: Dict) -> None:
-    """Merge measurements into repo-root BENCH_PR2.json only."""
-    _merge_json(BENCH_PR2_PATH, experiment, data)
+    """Merge measurements into the current PR's repo-root bench file only."""
+    _merge_json(BENCH_PATH, experiment, data)
 
 
 def fmt_seconds(s: Optional[float]) -> str:

@@ -1,4 +1,4 @@
-"""Telemetry overhead on the clique workload.
+"""Telemetry and profiler overhead on the clique workload.
 
 The telemetry subsystem promises a near-zero-overhead disabled path: hot
 call sites hold the shared null objects and pay one attribute load plus a
@@ -11,9 +11,12 @@ window:
 * ``enabled_overhead`` — full tracing + metrics vs the raw body, the
   price of actually recording spans and histograms.
 
-Exploration does not mutate the store, so the same window is re-run for
-every sample; best-of-N minimizes scheduler noise.  Results land in
-repo-root ``BENCH_PR2.json``.
+The exploration profiler makes the same promise for its own guard sites
+(a cached ``self._profiling`` flag per event); ``profiler_overhead``
+quantifies the disabled path against the same baseline and prices the
+enabled accumulator.  Exploration does not mutate the store, so the same
+window is re-run for every sample; best-of-N minimizes scheduler noise.
+Results land in repo-root ``BENCH_PR4.json``.
 """
 
 import time
@@ -23,7 +26,7 @@ from _harness import lj_bench, print_table, record_bench
 from repro.apps import CliqueMining
 from repro.core.engine import TesseractEngine
 from repro.store.mvstore import MultiVersionStore
-from repro.telemetry import Telemetry
+from repro.telemetry import ExplorationProfile, Telemetry
 from repro.types import EdgeUpdate
 
 ROUNDS = 5
@@ -101,4 +104,65 @@ def test_telemetry_overhead_clique(benchmark):
     # the design target, 10% the hard cap that absorbs machine noise.
     assert disabled_overhead < 0.10, disabled_overhead
     # Enabled tracing does real work but must stay in the same ballpark.
+    assert enabled_overhead < 1.0, enabled_overhead
+
+
+def test_profiler_overhead_clique(benchmark):
+    store, updates = _workload()
+    algorithm = CliqueMining(4, min_size=3)
+
+    raw_engine = TesseractEngine(store, algorithm)
+    null_engine = TesseractEngine(store, algorithm)  # profile=None → null path
+    profiled_engine = TesseractEngine(
+        store, algorithm, profile=ExplorationProfile()
+    )
+
+    def run(engine, method):
+        def body():
+            for update in updates:
+                method(engine, 1, update)
+
+        return body
+
+    def measure():
+        return {
+            "raw": _time_best(run(raw_engine, TesseractEngine._process_update)),
+            "disabled": _time_best(run(null_engine, TesseractEngine.process_update)),
+            "enabled": _time_best(
+                run(profiled_engine, TesseractEngine.process_update)
+            ),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    disabled_overhead = results["disabled"] / results["raw"] - 1.0
+    enabled_overhead = results["enabled"] / results["raw"] - 1.0
+
+    print_table(
+        "Profiler overhead (4-C lj-bench, best of %d)" % ROUNDS,
+        ["Variant", "Seconds", "Overhead"],
+        [
+            ("raw body", f"{results['raw']:.3f}", "—"),
+            ("profiling disabled", f"{results['disabled']:.3f}",
+             f"{disabled_overhead:+.1%}"),
+            ("profiling enabled", f"{results['enabled']:.3f}",
+             f"{enabled_overhead:+.1%}"),
+        ],
+    )
+    record_bench(
+        "profiler_overhead",
+        {
+            "workload": "4-C lj-bench",
+            "raw_s": results["raw"],
+            "disabled_s": results["disabled"],
+            "enabled_s": results["enabled"],
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+            "target_disabled_overhead": 0.02,
+        },
+    )
+
+    # Disabled profiling is the same single-flag guard pattern: 2% design
+    # target, 10% hard cap absorbing machine noise.
+    assert disabled_overhead < 0.10, disabled_overhead
+    # The enabled accumulator does one attribute store per event.
     assert enabled_overhead < 1.0, enabled_overhead

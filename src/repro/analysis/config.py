@@ -36,6 +36,7 @@ DEFAULT_HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro.runtime",
     "repro.streaming",
     "repro.dataflow",
+    "repro.telemetry.profile",
 )
 
 

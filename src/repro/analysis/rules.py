@@ -494,9 +494,23 @@ TELEMETRY_NAME_TOKENS = {
     "histogram",
     "gauge",
     "counter",
+    "profile",
 }
 
 SPAN_CONSTRUCTORS = {"Span", "NullSpan", "SpanRecord"}
+
+#: telemetry modules RL004 skips: these *define* the null objects and the
+#: coalescing helpers, so "is None" checks there are the implementation of
+#: the contract rather than violations of it.  Accumulator-style telemetry
+#: modules (profile, flame, report) are deliberately NOT listed — they are
+#: consumers of the contract and get dogfood-linted like the rest of the
+#: tree.
+RL004_EXEMPT_MODULES = (
+    "repro.telemetry",  # the façade package (__init__): defines ensure()
+    "repro.telemetry.trace",
+    "repro.telemetry.registry",
+    "repro.telemetry.bridge",
+)
 
 
 def _telemetry_subject(node: ast.AST) -> Optional[str]:
@@ -539,7 +553,9 @@ class TelemetryNullObjectRule(Rule):
     )
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
-        if ctx.module.startswith(("repro.telemetry", "repro.analysis")):
+        if ctx.module in RL004_EXEMPT_MODULES or ctx.module.startswith(
+            "repro.analysis"
+        ):
             return
         hot = ctx.config.is_hot_path(ctx.module)
         for node in ctx.nodes:

@@ -13,6 +13,10 @@ Commands
 ``motifs``
     Print the motif census of a static graph.
 
+``report``
+    Render a run report (latency, pruning effectiveness, imbalance, hottest
+    updates) from a profile JSON file written by ``mine --profile-out``.
+
 ``datasets``
     List the available dataset stand-ins.
 
@@ -110,10 +114,11 @@ def cmd_mine(args: argparse.Namespace) -> int:
     algorithm = _make_algorithm(args.algorithm)
     initial = read_edge_list(args.graph) if args.graph else None
     telemetry = None
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.flame_out:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
+    profiling = bool(args.profile_out or args.report)
     session = StreamingSession(
         algorithm,
         args.backend,
@@ -121,6 +126,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         initial_graph=initial,
         telemetry=telemetry,
+        profile=profiling,
     )
     count = session.output_stream().count()
     start = time.perf_counter()
@@ -136,6 +142,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             window_size=args.window,
             num_workers=args.workers,
             telemetry=telemetry,
+            profile=profiling,
         )
         count = fresh.output_stream().count()
         for v in sorted(initial.vertices()):
@@ -164,6 +171,8 @@ def cmd_mine(args: argparse.Namespace) -> int:
         f"windows: {session.latency_summary().report()}",
         file=sys.stderr,
     )
+    if args.report:
+        print(session.run_report(top_k=args.top).render(), file=sys.stderr)
     if args.metrics_out:
         _write_text(
             args.metrics_out,
@@ -175,7 +184,44 @@ def cmd_mine(args: argparse.Namespace) -> int:
         else:
             with open(args.trace_out, "w") as fh:
                 session.export_trace(fh)
+    if args.flame_out:
+        if args.flame_out == "-":
+            session.export_folded(sys.stdout)
+        else:
+            with open(args.flame_out, "w") as fh:
+                session.export_folded(fh)
+    if args.profile_out:
+        import json
+
+        from repro.telemetry.report import profile_document
+
+        doc = profile_document(
+            session.collect_profile(),
+            session.window_stats,
+            meta={
+                "algorithm": algorithm.name,
+                "backend": session.backend.name,
+            },
+        )
+        _write_text(args.profile_out, json.dumps(doc, sort_keys=True) + "\n")
     session.close()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a run report from a previously exported profile JSON file."""
+    from repro.telemetry.report import load_report
+
+    try:
+        report = load_report(args.profile, top_k=args.top)
+    except (OSError, ValueError) as exc:
+        # json.JSONDecodeError is a ValueError; so is a schema mismatch.
+        print(f"repro report: {args.profile}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        sys.stdout.write(report.dump_json())
+    else:
+        print(report.render())
     return 0
 
 
@@ -296,7 +342,42 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         help="exposition format for --metrics-out (default: json)",
     )
+    p.add_argument(
+        "--flame-out",
+        metavar="FILE",
+        help="enable tracing; write folded flamegraph stacks to FILE ('-' = stdout)",
+    )
+    p.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="enable exploration profiling; write the profile JSON to FILE "
+        "(render later with 'repro report')",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="enable exploration profiling and print a run report to stderr",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="hottest updates listed in the report (default: 5)",
+    )
     p.set_defaults(func=cmd_mine)
+
+    p = sub.add_parser(
+        "report", help="render a run report from 'mine --profile-out' JSON"
+    )
+    p.add_argument("profile", help="profile JSON file written by mine --profile-out")
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="hottest updates listed in the report (default: 5)",
+    )
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("motifs", help="motif census of a static edge list")
     p.add_argument("graph")

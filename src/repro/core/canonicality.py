@@ -35,6 +35,39 @@ from typing import List, Optional, Tuple
 
 from repro.types import EdgeKey, VertexId, edge_key
 
+#: CAN_EXPAND outcomes, so the profiler can attribute rejections to the
+#: rule that caused them without a second evaluation pass.
+ALLOWED = 0
+PRUNED_SAME_WINDOW = 1  # section 4.4.3: lower same-window edge traversal
+PRUNED_RULE2 = 2  # section 4.4.1: update canonical order violated
+
+
+def vertex_expansion_reason(
+    verts: List[VertexId],
+    start_key: EdgeKey,
+    v: VertexId,
+    pre_bits: int,
+    post_bits: int,
+) -> int:
+    """CAN_EXPAND for vertex-induced mode (Algorithm 3), with a reason.
+
+    Returns :data:`ALLOWED` when expanding ``verts`` with ``v`` is allowed,
+    otherwise the rule that rejected the expansion.
+    """
+    # Algorithm 3 lines 1-2: reject traversal of a lower same-window edge.
+    # An edge differs between the pre- and post-window snapshots exactly
+    # when it was updated in this window.
+    diff = pre_bits ^ post_bits
+    while diff:
+        low = diff & -diff
+        u = verts[low.bit_length() - 1]
+        if edge_key(v, u) < start_key:
+            return PRUNED_SAME_WINDOW
+        diff ^= low
+    if not rule2_ok(verts, pre_bits | post_bits, v):
+        return PRUNED_RULE2
+    return ALLOWED
+
 
 def vertex_expansion(
     verts: List[VertexId],
@@ -47,17 +80,45 @@ def vertex_expansion(
 
     Returns whether expanding the subgraph ``verts`` with ``v`` is allowed.
     """
-    # Algorithm 3 lines 1-2: reject traversal of a lower same-window edge.
-    # An edge differs between the pre- and post-window snapshots exactly
-    # when it was updated in this window.
-    diff = pre_bits ^ post_bits
-    while diff:
-        low = diff & -diff
-        u = verts[low.bit_length() - 1]
-        if edge_key(v, u) < start_key:
-            return False
-        diff ^= low
-    return rule2_ok(verts, pre_bits | post_bits, v)
+    return (
+        vertex_expansion_reason(verts, start_key, v, pre_bits, post_bits)
+        == ALLOWED
+    )
+
+
+def edge_expansion_pool_ex(
+    verts: List[VertexId],
+    start_key: EdgeKey,
+    v: VertexId,
+    pre_bits: int,
+    post_bits: int,
+) -> Tuple[Optional[List[Tuple[int, bool, bool]]], int]:
+    """CAN_EXPAND for edge-induced mode, with same-window exclusion count.
+
+    Returns ``(pool, excluded)`` where ``pool`` is the connecting edges
+    available for subset selection as ``(slot, alive_pre, alive_post)``
+    triples — lower same-window edges are excluded from the pool rather
+    than rejecting the vertex — or ``None`` if rule 2 rejects the vertex
+    outright, and ``excluded`` counts the same-window edges removed from
+    the pool (0 when ``pool`` is ``None``).
+    """
+    union_bits = pre_bits | post_bits
+    if not rule2_ok(verts, union_bits, v):
+        return None, 0
+    pool: List[Tuple[int, bool, bool]] = []
+    excluded = 0
+    bits = union_bits
+    while bits:
+        low = bits & -bits
+        i = low.bit_length() - 1
+        bits ^= low
+        alive_pre = bool(pre_bits >> i & 1)
+        alive_post = bool(post_bits >> i & 1)
+        if alive_pre != alive_post and edge_key(v, verts[i]) < start_key:
+            excluded += 1  # found from the lower edge's own exploration
+            continue
+        pool.append((i, alive_pre, alive_post))
+    return pool, excluded
 
 
 def edge_expansion_pool(
@@ -67,28 +128,8 @@ def edge_expansion_pool(
     pre_bits: int,
     post_bits: int,
 ) -> Optional[List[Tuple[int, bool, bool]]]:
-    """CAN_EXPAND for edge-induced mode.
-
-    Returns the connecting edges available for subset selection as
-    ``(slot, alive_pre, alive_post)`` triples — lower same-window edges are
-    excluded from the pool rather than rejecting the vertex — or ``None``
-    if rule 2 rejects the vertex outright.
-    """
-    union_bits = pre_bits | post_bits
-    if not rule2_ok(verts, union_bits, v):
-        return None
-    pool: List[Tuple[int, bool, bool]] = []
-    bits = union_bits
-    while bits:
-        low = bits & -bits
-        i = low.bit_length() - 1
-        bits ^= low
-        alive_pre = bool(pre_bits >> i & 1)
-        alive_post = bool(post_bits >> i & 1)
-        if alive_pre != alive_post and edge_key(v, verts[i]) < start_key:
-            continue  # found from the lower edge's own exploration
-        pool.append((i, alive_pre, alive_post))
-    return pool
+    """CAN_EXPAND for edge-induced mode (pool only; see the ``_ex`` form)."""
+    return edge_expansion_pool_ex(verts, start_key, v, pre_bits, post_bits)[0]
 
 
 def rule2_ok(verts: List[VertexId], union_bits: int, v: VertexId) -> bool:

@@ -45,16 +45,21 @@ class TesseractEngine:
         trace_tasks: bool = False,
         telemetry=None,
         worker_label: int = 0,
+        profile=None,
     ) -> None:
-        from repro.telemetry import ensure
+        from repro.telemetry import ensure, ensure_profile
 
         self.store = store
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else Metrics()
         self.telemetry = ensure(telemetry)
         self.worker_label = worker_label
+        self.profile = ensure_profile(profile)
         self.explorer = Explorer(
-            algorithm, metrics=self.metrics, telemetry=self.telemetry
+            algorithm,
+            metrics=self.metrics,
+            telemetry=self.telemetry,
+            profile=self.profile,
         )
         self.trace_tasks = trace_tasks
         self.traces: List[TaskTrace] = []

@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.api import InducedMode, MiningAlgorithm
-from repro.core.canonicality import edge_expansion_pool, vertex_expansion
+from repro.core.canonicality import (
+    ALLOWED,
+    PRUNED_RULE2,
+    edge_expansion_pool_ex,
+    vertex_expansion_reason,
+)
 from repro.core.metrics import Metrics, Stopwatch
 from repro.errors import BoundednessError
 from repro.graph.bitset import BitMatrix
@@ -36,12 +41,18 @@ class Explorer:
         metrics: Optional[Metrics] = None,
         hard_limit: int = 12,
         telemetry=None,
+        profile=None,
     ) -> None:
-        from repro.telemetry import ensure
+        from repro.telemetry import ensure, ensure_profile
 
         self.algorithm = algorithm
         self.metrics = metrics if metrics is not None else Metrics()
         self.hard_limit = max(hard_limit, algorithm.max_size + 1)
+        # Exploration attribution: one cached flag guards every recording
+        # site, so the disabled path costs a branch per event (RL004 allows
+        # branching on ``.enabled``, never on ``profile is None``).
+        self.profile = ensure_profile(profile)
+        self._profiling = self.profile.enabled
         # Figure 6 categories as per-call duration histograms.  Observations
         # happen inside the already timing-gated Stopwatch blocks, so the
         # untimed hot path never touches the registry; with no telemetry the
@@ -79,6 +90,8 @@ class Explorer:
         """Compute all match-set changes rooted at one edge update."""
         self._view = view
         self._out = []
+        if self._profiling:
+            self.profile.begin_update(view.ts, update)
         if self.algorithm.uses_edge_labels:
             store, ts = view.store, view.ts
             self._edge_label_pre = lambda a, b: store.edge_label_at(a, b, ts - 1)
@@ -136,18 +149,29 @@ class Explorer:
         for v in sorted(candidates):
             pre_bits, post_bits = candidates[v]
             self.metrics.can_expand_calls += 1
+            if self._profiling:
+                self.profile.attempt()
             if timing:
                 with Stopwatch(
                     self.metrics, "can_expand_seconds", self._hist_can_expand
                 ):
-                    allowed = vertex_expansion(
+                    reason = vertex_expansion_reason(
                         verts, start_key, v, pre_bits, post_bits
                     )
             else:
-                allowed = vertex_expansion(verts, start_key, v, pre_bits, post_bits)
-            if not allowed:
+                reason = vertex_expansion_reason(
+                    verts, start_key, v, pre_bits, post_bits
+                )
+            if reason != ALLOWED:
+                if self._profiling:
+                    if reason == PRUNED_RULE2:
+                        self.profile.pruned_rule2()
+                    else:
+                        self.profile.pruned_same_window()
                 continue
             self.metrics.expansions += 1
+            if self._profiling:
+                self.profile.expansion()
             verts.append(v)
             self._labels_pre.append(view.vertex_label(v, pre=True))
             self._labels_post.append(view.vertex_label(v))
@@ -191,6 +215,8 @@ class Explorer:
         self, pre: BitMatrix, post: BitMatrix, c_pre: bool, c_post: bool
     ):
         """DETECT_CHANGES (Algorithm 2 lines 8-18) for vertex-induced mode."""
+        if self._profiling:
+            self.profile.node(len(self._verts))
         if c_pre:
             s_pre = SubgraphView(
                 self._verts,
@@ -232,16 +258,24 @@ class Explorer:
         else:
             keep = algorithm.filter(s)
         self._last_filter_passed = keep
+        if self._profiling:
+            self.profile.filter_call(keep)
         if not keep or not matrix.is_connected():
             return False
         metrics.match_calls += 1
         if metrics.timing_enabled:
             with Stopwatch(metrics, "match_seconds", self._hist_match):
-                return algorithm.match(s)
-        return algorithm.match(s)
+                matched = algorithm.match(s)
+        else:
+            matched = algorithm.match(s)
+        if self._profiling:
+            self.profile.match_call(matched)
+        return matched
 
     def _emit(self, status: MatchStatus, s: SubgraphView) -> None:
         self.metrics.emits += 1
+        if self._profiling:
+            self.profile.emit(status is MatchStatus.NEW)
         self._out.append(
             MatchDelta(timestamp=self._view.ts, status=status, subgraph=s.freeze())
         )
@@ -283,17 +317,25 @@ class Explorer:
         for v in sorted(candidates):
             pre_bits, post_bits = candidates[v]
             self.metrics.can_expand_calls += 1
+            if self._profiling:
+                self.profile.attempt()
             if timing:
                 with Stopwatch(
                     self.metrics, "can_expand_seconds", self._hist_can_expand
                 ):
-                    pool = edge_expansion_pool(
+                    pool, excluded = edge_expansion_pool_ex(
                         verts, start_key, v, pre_bits, post_bits
                     )
             else:
-                pool = edge_expansion_pool(verts, start_key, v, pre_bits, post_bits)
+                pool, excluded = edge_expansion_pool_ex(
+                    verts, start_key, v, pre_bits, post_bits
+                )
             if pool is None:
+                if self._profiling:
+                    self.profile.pruned_rule2()
                 continue
+            if excluded and self._profiling:
+                self.profile.pruned_same_window(excluded)
             # One expansion per subset of the connecting edges, including the
             # empty subset: a vertex may join now and become connected by a
             # later vertex's edges (connectivity is checked at match time).
@@ -308,6 +350,8 @@ class Explorer:
                     if not a_post:
                         add_missing_post += 1
                 self.metrics.expansions += 1
+                if self._profiling:
+                    self.profile.expansion()
                 verts.append(v)
                 self._labels_pre.append(view.vertex_label(v, pre=True))
                 self._labels_post.append(view.vertex_label(v))
@@ -347,6 +391,8 @@ class Explorer:
         are alive in that snapshot; a missing edge stays missing in every
         extension, so the continuation flag drops permanently.
         """
+        if self._profiling:
+            self.profile.node(len(self._verts))
         if c_pre:
             if missing_pre:
                 c_pre = False

@@ -53,7 +53,15 @@ from repro.core.api import MiningAlgorithm
 from repro.core.engine import TesseractEngine
 from repro.core.metrics import Metrics
 from repro.store.mvstore import MultiVersionStore
-from repro.telemetry import NULL_REGISTRY, NULL_TELEMETRY, MetricsRegistry, Telemetry, ensure
+from repro.telemetry import (
+    NULL_PROFILE,
+    NULL_REGISTRY,
+    NULL_TELEMETRY,
+    ExplorationProfile,
+    MetricsRegistry,
+    Telemetry,
+    ensure,
+)
 from repro.types import EdgeUpdate, MatchDelta, TaskTrace, Timestamp
 
 #: One unit of backend work: explore a single edge update at a timestamp.
@@ -103,6 +111,20 @@ class ExecutionBackend(abc.ABC):
         """Per-worker metric registries to merge at snapshot time."""
         return []
 
+    def worker_profiles(self) -> List[ExplorationProfile]:
+        """Per-worker exploration profiles to merge at collection time.
+
+        Profiles merge key-wise (per attributed update), so the merged
+        result is identical regardless of which worker ran which task —
+        the same order-independence contract as :meth:`worker_registries`.
+        """
+        return []
+
+    @staticmethod
+    def _worker_profile(profile_on: bool) -> ExplorationProfile:
+        """A per-worker accumulator, or the shared null object when off."""
+        return ExplorationProfile() if profile_on else NULL_PROFILE
+
     @staticmethod
     def _worker_telemetry(telemetry) -> "Telemetry":
         """A per-worker telemetry view: shared tracer, private registry.
@@ -139,18 +161,24 @@ class SerialBackend(ExecutionBackend):
         metrics: Optional[Metrics] = None,
         trace_tasks: bool = False,
         telemetry=None,
+        profile: bool = False,
     ) -> None:
         self._worker_tel = self._worker_telemetry(telemetry)
+        self._profile = self._worker_profile(profile)
         self.engine = TesseractEngine(
             store,
             algorithm,
             metrics=metrics,
             trace_tasks=trace_tasks,
             telemetry=self._worker_tel,
+            profile=self._profile,
         )
 
     def worker_registries(self) -> List[MetricsRegistry]:
         return [self._worker_tel.registry] if self._worker_tel.enabled else []
+
+    def worker_profiles(self) -> List[ExplorationProfile]:
+        return [self._profile] if self._profile.enabled else []
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         deltas: List[MatchDelta] = []
@@ -187,12 +215,16 @@ class ThreadBackend(ExecutionBackend):
         num_workers: int = 2,
         trace_tasks: bool = False,
         telemetry=None,
+        profile: bool = False,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
         self._worker_tels = [
             self._worker_telemetry(telemetry) for _ in range(num_workers)
+        ]
+        self._worker_profs = [
+            self._worker_profile(profile) for _ in range(num_workers)
         ]
         self.engines = [
             TesseractEngine(
@@ -202,12 +234,16 @@ class ThreadBackend(ExecutionBackend):
                 trace_tasks=trace_tasks,
                 telemetry=self._worker_tels[w],
                 worker_label=w,
+                profile=self._worker_profs[w],
             )
             for w in range(num_workers)
         ]
 
     def worker_registries(self) -> List[MetricsRegistry]:
         return [tel.registry for tel in self._worker_tels if tel.enabled]
+
+    def worker_profiles(self) -> List[ExplorationProfile]:
+        return [p for p in self._worker_profs if p.enabled]
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
         if not tasks:
@@ -263,17 +299,21 @@ class ThreadBackend(ExecutionBackend):
 _WORKER_STORE: Optional[MultiVersionStore] = None
 _WORKER_ALGORITHM: Optional[MiningAlgorithm] = None
 _WORKER_TELEMETRY_ON: bool = False
+_WORKER_PROFILE_ON: bool = False
 
 
 def _init_process_worker(
     store: MultiVersionStore,
     algorithm: MiningAlgorithm,
     telemetry_on: bool = False,
+    profile_on: bool = False,
 ) -> None:
     global _WORKER_STORE, _WORKER_ALGORITHM, _WORKER_TELEMETRY_ON
+    global _WORKER_PROFILE_ON
     _WORKER_STORE = store
     _WORKER_ALGORITHM = algorithm
     _WORKER_TELEMETRY_ON = telemetry_on
+    _WORKER_PROFILE_ON = profile_on
 
 
 def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
@@ -284,21 +324,26 @@ def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
     # deterministically (in task order) on the caller side — spans travel
     # over the exact same channel as the merged metrics.
     telemetry = Telemetry(trace_capacity=256) if _WORKER_TELEMETRY_ON else NULL_TELEMETRY
+    profile = ExplorationProfile() if _WORKER_PROFILE_ON else NULL_PROFILE
     engine = TesseractEngine(
         _WORKER_STORE,
         _WORKER_ALGORITHM,
         telemetry=telemetry,
         worker_label=os.getpid(),
+        profile=profile,
     )
     deltas = engine.process_update(ts, update)
     # With telemetry off the null tracer ships an empty span list and the
-    # null registry merges as a no-op — one return shape either way.
+    # null registry merges as a no-op — one return shape either way.  The
+    # profile slot likewise ships the inert null object when profiling is
+    # off (it is stateless, so it pickles to another inert instance).
     return (
         index,
         deltas,
         engine.metrics,
         telemetry.tracer.records(),
         telemetry.registry,
+        profile,
     )
 
 
@@ -322,6 +367,7 @@ class ProcessBackend(ExecutionBackend):
         metrics: Optional[Metrics] = None,
         min_parallel: int = 4,
         telemetry=None,
+        profile: bool = False,
     ) -> None:
         self.store = store
         self.algorithm = algorithm
@@ -335,9 +381,18 @@ class ProcessBackend(ExecutionBackend):
         self._shipped_registry = (
             MetricsRegistry() if self.telemetry.enabled else NULL_REGISTRY
         )
+        # Shipped per-task profiles merge into this accumulator, which the
+        # inline fallback engine records into directly — one merged view
+        # either way (the null profile swallows merges when profiling is
+        # off).
+        self._profile = self._worker_profile(profile)
         # The inline fallback engine accumulates into the same metrics.
         self._inline = TesseractEngine(
-            store, algorithm, metrics=self._metrics, telemetry=self._worker_tel
+            store,
+            algorithm,
+            metrics=self._metrics,
+            telemetry=self._worker_tel,
+            profile=self._profile,
         )
 
     def run_tasks(self, tasks: Sequence[Task]) -> List[MatchDelta]:
@@ -353,7 +408,12 @@ class ProcessBackend(ExecutionBackend):
         with ctx.Pool(
             processes=self.num_processes,
             initializer=_init_process_worker,
-            initargs=(self.store, self.algorithm, self.telemetry.enabled),
+            initargs=(
+                self.store,
+                self.algorithm,
+                self.telemetry.enabled,
+                self._profile.enabled,
+            ),
         ) as pool:
             results = pool.map(
                 _run_process_task,
@@ -362,7 +422,7 @@ class ProcessBackend(ExecutionBackend):
             )
         results.sort(key=lambda entry: entry[0])
         out = []
-        for _, deltas, task_metrics, spans, registry in results:
+        for _, deltas, task_metrics, spans, registry, task_profile in results:
             out.extend(deltas)
             self._metrics.merge(task_metrics)
             if spans:
@@ -370,6 +430,7 @@ class ProcessBackend(ExecutionBackend):
                 # span (the session's open window span).
                 self.telemetry.tracer.absorb(spans)
             self._shipped_registry.merge(registry)
+            self._profile.merge(task_profile)
         return out
 
     def metrics(self) -> Metrics:
@@ -387,6 +448,9 @@ class ProcessBackend(ExecutionBackend):
         if self.telemetry.enabled:
             out.append(self._shipped_registry)
         return out
+
+    def worker_profiles(self) -> List[ExplorationProfile]:
+        return [self._profile] if self._profile.enabled else []
 
 
 class SimulatedBackend(ExecutionBackend):
@@ -410,6 +474,7 @@ class SimulatedBackend(ExecutionBackend):
         algorithm_factory: Optional[Callable[[], MiningAlgorithm]] = None,
         fetch_costs=None,
         telemetry=None,
+        profile: bool = False,
     ) -> None:
         from repro.runtime.cluster import ClusterSpec
         from repro.runtime.distributed import SimulatedDeployment
@@ -424,6 +489,7 @@ class SimulatedBackend(ExecutionBackend):
             spec,
             fetch_costs=fetch_costs if fetch_costs is not None else FetchCosts(),
             telemetry=telemetry,
+            profile=profile,
         )
         #: per-batch deployment results (makespan, utilization, fetches)
         self.results = []
@@ -449,6 +515,9 @@ class SimulatedBackend(ExecutionBackend):
     def worker_registries(self) -> List[MetricsRegistry]:
         return list(self.deployment.worker_registries)
 
+    def worker_profiles(self) -> List[ExplorationProfile]:
+        return list(self.deployment.worker_profiles)
+
     @property
     def last_result(self):
         return self.results[-1] if self.results else None
@@ -465,6 +534,7 @@ def make_backend(
     spec=None,
     fetch_costs=None,
     telemetry=None,
+    profile: bool = False,
 ) -> ExecutionBackend:
     """Construct a backend by registry name (see :data:`BACKEND_NAMES`)."""
     if kind == "serial":
@@ -474,6 +544,7 @@ def make_backend(
             metrics=metrics,
             trace_tasks=trace_tasks,
             telemetry=telemetry,
+            profile=profile,
         )
     if kind == "thread":
         return ThreadBackend(
@@ -482,6 +553,7 @@ def make_backend(
             num_workers=num_workers or 2,
             trace_tasks=trace_tasks,
             telemetry=telemetry,
+            profile=profile,
         )
     if kind == "process":
         return ProcessBackend(
@@ -490,6 +562,7 @@ def make_backend(
             num_processes=num_workers,
             metrics=metrics,
             telemetry=telemetry,
+            profile=profile,
         )
     if kind == "simulated":
         return SimulatedBackend(
@@ -498,6 +571,7 @@ def make_backend(
             spec=spec,
             fetch_costs=fetch_costs,
             telemetry=telemetry,
+            profile=profile,
         )
     raise ValueError(
         f"unknown backend {kind!r}; expected one of {', '.join(BACKEND_NAMES)}"

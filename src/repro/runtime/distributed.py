@@ -68,8 +68,14 @@ class SimulatedDeployment:
         dequeue_seconds: float = 1e-6,
         emit_seconds: float = 0.5e-6,
         telemetry=None,
+        profile: bool = False,
     ) -> None:
-        from repro.telemetry import MetricsRegistry, Telemetry, ensure
+        from repro.telemetry import (
+            ExplorationProfile,
+            MetricsRegistry,
+            Telemetry,
+            ensure,
+        )
 
         self.store = store
         self.spec = spec
@@ -92,6 +98,9 @@ class SimulatedDeployment:
         # order-independently at snapshot time) on the shared tracer.
         self._explorers = []
         self.worker_registries: List[MetricsRegistry] = []
+        # One exploration profile per worker, like the registries: merged
+        # key-wise (order-independently) by the session at collection time.
+        self.worker_profiles: List[ExplorationProfile] = []
         for _ in range(spec.total_workers):
             metrics = Metrics()
             if self.telemetry.enabled:
@@ -101,10 +110,18 @@ class SimulatedDeployment:
                 self.worker_registries.append(worker_tel.registry)
             else:
                 worker_tel = None
+            if profile:
+                worker_profile = ExplorationProfile()
+                self.worker_profiles.append(worker_profile)
+            else:
+                worker_profile = None
             self._explorers.append(
                 (
                     Explorer(
-                        algorithm_factory(), metrics=metrics, telemetry=worker_tel
+                        algorithm_factory(),
+                        metrics=metrics,
+                        telemetry=worker_tel,
+                        profile=worker_profile,
                     ),
                     metrics,
                 )

@@ -70,12 +70,14 @@ class StreamingSession:
         spec=None,
         fetch_costs=None,
         telemetry=None,
+        profile: bool = False,
         fault_injector=None,
     ) -> None:
         from repro.telemetry import ensure
 
         self.algorithm = algorithm
         self.telemetry = ensure(telemetry)
+        self.profiling = profile
         self.fault_injector = fault_injector
         if store is not None:
             if initial_graph is not None:
@@ -107,6 +109,7 @@ class StreamingSession:
                 spec=spec,
                 fetch_costs=fetch_costs,
                 telemetry=self.telemetry,
+                profile=profile,
             )
         self.window_stats: List[WindowStats] = []
         self._deltas: List[MatchDelta] = []
@@ -248,7 +251,7 @@ class StreamingSession:
         return self.backend.metrics()
 
     def latency_summary(self) -> LatencySummary:
-        """p50/p95/max over this session's per-window wall seconds."""
+        """p50/p95/p99/max over this session's per-window wall seconds."""
         return summarize_latencies([w.wall_seconds for w in self.window_stats])
 
     def collect_registry(self):
@@ -279,9 +282,45 @@ class StreamingSession:
         window_stats_to_registry(out, self.window_stats)
         return out
 
+    def collect_profile(self):
+        """Merged :class:`~repro.telemetry.ExplorationProfile` snapshot.
+
+        Builds a fresh profile on every call (idempotent) by merging the
+        backend's per-worker profiles key-wise; the merge is commutative,
+        so the result is independent of worker scheduling.  Returns an
+        empty profile when the session was built without ``profile=True``.
+        """
+        from repro.telemetry import ExplorationProfile
+
+        merged = ExplorationProfile()
+        for worker_profile in self.backend.worker_profiles():
+            merged.merge(worker_profile)
+        return merged
+
+    def run_report(self, top_k: int = 5):
+        """A :class:`~repro.telemetry.report.RunReport` for this session."""
+        from repro.telemetry.report import build_report
+
+        return build_report(
+            self.collect_profile(),
+            self.window_stats,
+            meta={"backend": self.backend.name, "algorithm": type(self.algorithm).__name__},
+            top_k=top_k,
+        )
+
     def export_trace(self, out) -> int:
         """Write the buffered trace as JSON lines; returns spans written."""
         return self.telemetry.tracer.export_jsonl(out)
+
+    def export_folded(self, out) -> int:
+        """Write the buffered trace as folded stacks; returns stack count.
+
+        The folded-stack (flamegraph) format is one ``root;child;leaf N``
+        line per distinct stack; see :mod:`repro.telemetry.flame`.
+        """
+        from repro.telemetry.flame import export_folded
+
+        return export_folded(self.telemetry.tracer.records(), out)
 
     def snapshot(self, ts: Optional[Timestamp] = None) -> AdjacencyGraph:
         """Materialize the graph as of ``ts`` (default: latest)."""

@@ -19,17 +19,20 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Per-window wall-time distribution (p50/p95/max), merge-order safe.
+    """Per-window wall-time distribution (p50/p95/p99/max), merge-order safe.
 
     Computed from the multiset of window latencies a :class:`Metrics`
     accumulated (:attr:`~repro.core.metrics.Metrics.window_latencies`) or
     from a list of :class:`~repro.types.WindowStats`, so summaries of runs
-    on different execution backends are directly comparable.
+    on different execution backends are directly comparable.  The p99
+    column mirrors the paper's Figure 6, which reports 99th-percentile
+    per-update latency tails.
     """
 
     windows: int
     p50_seconds: float
     p95_seconds: float
+    p99_seconds: float
     max_seconds: float
     total_seconds: float
 
@@ -44,6 +47,7 @@ class LatencySummary:
             f"{self.windows} windows: "
             f"p50 {self.p50_seconds * 1e3:.2f}ms / "
             f"p95 {self.p95_seconds * 1e3:.2f}ms / "
+            f"p99 {self.p99_seconds * 1e3:.2f}ms / "
             f"max {self.max_seconds * 1e3:.2f}ms "
             f"(total {self.total_seconds:.3f}s)"
         )
@@ -53,11 +57,12 @@ def summarize_latencies(wall_seconds: Sequence[float]) -> LatencySummary:
     """Summarize window wall times; order of samples does not matter."""
     samples = sorted(wall_seconds)
     if not samples:
-        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
     return LatencySummary(
         windows=len(samples),
         p50_seconds=_percentile(samples, 0.50),
         p95_seconds=_percentile(samples, 0.95),
+        p99_seconds=_percentile(samples, 0.99),
         max_seconds=samples[-1],
         total_seconds=sum(samples),
     )

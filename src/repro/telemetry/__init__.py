@@ -38,6 +38,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.telemetry.bridge import ingress_to_registry, metrics_to_registry
+from repro.telemetry.profile import (
+    ExplorationProfile,
+    NullProfile,
+    NULL_PROFILE,
+    UpdateProfile,
+    ensure_profile,
+)
 from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     SIZE_BUCKETS,
@@ -83,6 +90,11 @@ __all__ = [
     "SIZE_BUCKETS",
     "metrics_to_registry",
     "ingress_to_registry",
+    "ExplorationProfile",
+    "UpdateProfile",
+    "NullProfile",
+    "NULL_PROFILE",
+    "ensure_profile",
 ]
 
 

@@ -1,0 +1,79 @@
+"""Collapse tracer span records into folded-stack (flamegraph) format.
+
+The folded format is one line per distinct stack, ``root;child;leaf N``,
+where ``N`` is the sample weight — here the span's *self time* (its
+duration minus the duration of its children) in integer microseconds.
+The output feeds any flamegraph renderer (``flamegraph.pl``, speedscope,
+``inferno``) directly.
+
+Stacks are reconstructed from ``parent_id`` links.  Spans whose parent was
+evicted from the tracer's ring buffer (or shipped without it) become
+roots, so a truncated trace still folds — pair the output with the
+tracer's ``dropped_spans`` header to know whether truncation happened.
+Output lines are sorted, so the same span set always folds to the same
+bytes regardless of buffer order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, TextIO
+
+from repro.telemetry.trace import SpanRecord
+
+
+def collapse_spans(records: Iterable[SpanRecord]) -> Dict[str, int]:
+    """Fold span records into ``{stack: self_time_microseconds}``.
+
+    Children's wall time is subtracted from their parent (clamped at
+    zero), so summing a stack's subtree reproduces the parent's duration
+    the way flamegraph renderers expect.
+    """
+    records = list(records)
+    by_id: Dict[int, SpanRecord] = {r.span_id: r for r in records}
+    child_seconds: Dict[int, float] = {}
+    for record in records:
+        parent = record.parent_id
+        if parent in by_id:
+            child_seconds[parent] = child_seconds.get(parent, 0.0) + record.duration
+
+    stacks: Dict[int, str] = {}
+
+    def stack_of(record: SpanRecord) -> str:
+        cached = stacks.get(record.span_id)
+        if cached is not None:
+            return cached
+        names: List[str] = []
+        seen = set()
+        node = record
+        while True:
+            names.append(node.name.replace(";", ":"))
+            seen.add(node.span_id)
+            parent = node.parent_id
+            if parent not in by_id or parent in seen:
+                break
+            node = by_id[parent]
+        stack = ";".join(reversed(names))
+        stacks[record.span_id] = stack
+        return stack
+
+    folded: Dict[str, int] = {}
+    for record in records:
+        self_seconds = record.duration - child_seconds.get(record.span_id, 0.0)
+        weight = int(round(max(self_seconds, 0.0) * 1e6))
+        stack = stack_of(record)
+        folded[stack] = folded.get(stack, 0) + weight
+    return folded
+
+
+def to_folded(records: Iterable[SpanRecord]) -> str:
+    """Render span records as folded-stack text (sorted, newline-ended)."""
+    folded = collapse_spans(records)
+    lines = [f"{stack} {weight}" for stack, weight in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_folded(records: Iterable[SpanRecord], out: TextIO) -> int:
+    """Write folded stacks to ``out``; returns the number of stacks."""
+    text = to_folded(records)
+    out.write(text)
+    return 0 if not text else text.count("\n")

@@ -119,6 +119,9 @@ class Tracer:
         self._anchor: Optional[int] = None
         #: total spans ever recorded (the ring may have evicted older ones)
         self.spans_recorded = 0
+        #: spans evicted from the ring to make room for newer ones; nonzero
+        #: means the buffered trace (and any export of it) is truncated
+        self.dropped_spans = 0
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -172,6 +175,8 @@ class Tracer:
         with self._lock:
             if span.anchored:
                 self._anchor = span._prev_anchor
+            if len(self._ring) == self.capacity:
+                self.dropped_spans += 1
             self._ring.append(record)
             self.spans_recorded += 1
 
@@ -193,6 +198,8 @@ class Tracer:
             attrs=attrs,
         )
         with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped_spans += 1
             self._ring.append(record)
             self.spans_recorded += 1
         return record
@@ -224,6 +231,8 @@ class Tracer:
                     if record.parent_id in id_map
                     else parent_id
                 )
+                if len(self._ring) == self.capacity:
+                    self.dropped_spans += 1
                 self._ring.append(
                     SpanRecord(
                         span_id=id_map[record.span_id],
@@ -244,18 +253,54 @@ class Tracer:
             return list(self._ring)
 
     def clear(self) -> None:
+        """Empty the ring (and the truncation counter describing it)."""
         with self._lock:
             self._ring.clear()
+            self.dropped_spans = 0
+
+    def _header_line(self) -> Optional[str]:
+        """A ``trace.header`` JSON line, present only on truncated traces.
+
+        Emitted ahead of the spans when the ring evicted anything, so a
+        consumer can tell a complete trace from a truncated one; complete
+        traces stay headerless (and byte-identical to earlier exports).
+        """
+        if not self.dropped_spans:
+            return None
+        return json.dumps(
+            {
+                "name": "trace.header",
+                "dropped_spans": self.dropped_spans,
+                "spans_recorded": self.spans_recorded,
+                "capacity": self.capacity,
+            },
+            sort_keys=True,
+        )
 
     def to_jsonl(self) -> str:
-        """The buffered spans as JSON lines (one span per line)."""
-        return "\n".join(
+        """The buffered spans as JSON lines (one span per line).
+
+        Truncated traces are prefixed with a ``trace.header`` line carrying
+        ``dropped_spans`` (see :meth:`_header_line`).
+        """
+        header = self._header_line()
+        lines = [header] if header is not None else []
+        lines.extend(
             json.dumps(r.to_dict(), sort_keys=True, default=str)
             for r in self.records()
         )
+        return "\n".join(lines)
 
     def export_jsonl(self, out: TextIO) -> int:
-        """Write the buffered spans as JSON lines; returns spans written."""
+        """Write the buffered spans as JSON lines; returns spans written.
+
+        Like :meth:`to_jsonl`, truncated traces get a leading
+        ``trace.header`` line (not counted in the return value).
+        """
+        header = self._header_line()
+        if header is not None:
+            out.write(header)
+            out.write("\n")
         records = self.records()
         for record in records:
             out.write(json.dumps(record.to_dict(), sort_keys=True, default=str))
@@ -289,6 +334,7 @@ class NullTracer:
     enabled = False
     capacity = 0
     spans_recorded = 0
+    dropped_spans = 0
 
     def span(self, name: str, *, anchored: bool = False, **attrs: Any) -> NullSpan:
         return NULL_SPAN

@@ -247,6 +247,66 @@ class TestTelemetryNullObjectRL004:
         """
         assert rules_hit(src, path=COLD) == ["RL004"]
 
+    # -- profiler hot paths (PR 4) ------------------------------------
+
+    def test_flags_profile_none_branch_in_hot_path(self):
+        src = """
+            def explore(self, view, update, profile):
+                if profile is not None:
+                    profile.attempt()
+        """
+        assert rules_hit(src, path=HOT) == ["RL004"]
+
+    def test_flags_inverted_profile_none_branch(self):
+        src = """
+            def expand(self, profile):
+                if None is profile:
+                    return
+                profile.expansion()
+        """
+        assert rules_hit(src, path=HOT) == ["RL004"]
+
+    def test_allows_coalescing_profile_onto_null_object(self):
+        src = """
+            NULL_PROFILE = object()
+
+            def bind(profile):
+                return profile if profile is not None else NULL_PROFILE
+        """
+        assert rules_hit(src, path=HOT) == []
+
+    def test_allows_branching_on_profile_enabled(self):
+        # The sanctioned hot-path guard: one cached flag off ``.enabled``.
+        src = """
+            def evaluate(self, s):
+                if self._profiling:
+                    self.profile.filter_call(True)
+                if self.profile.enabled:
+                    self.profile.node(2)
+        """
+        assert rules_hit(src, path=HOT) == []
+
+    def test_telemetry_profile_module_is_linted(self):
+        # telemetry/profile.py is a hot-path accumulator, not part of the
+        # RL004 exemption set: None branches inside it must flag.
+        src = """
+            def node(self, depth, profile):
+                if profile is not None:
+                    profile.node(depth)
+        """
+        assert rules_hit(src, path="src/repro/telemetry/profile.py") == ["RL004"]
+
+    def test_telemetry_trace_module_stays_exempt(self):
+        # trace.py defines the null objects themselves; its None checks are
+        # the implementation of the contract.
+        src = """
+            def _resolve(tracer):
+                if tracer is not None:
+                    return tracer
+                return None
+        """
+        assert rules_hit(src, path="src/repro/telemetry/trace.py") == []
+
 
 class TestAlgorithmPurityRL005:
     def test_flags_io_in_filter(self):

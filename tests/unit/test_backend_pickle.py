@@ -14,7 +14,14 @@ import pytest
 from repro.apps import CliqueMining, DiamondMining, MotifCounting, PathMining
 from repro.runtime.backend import _init_process_worker, _run_process_task
 from repro.store.mvstore import MultiVersionStore
-from repro.telemetry import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from repro.telemetry import (
+    NULL_PROFILE,
+    NULL_REGISTRY,
+    ExplorationProfile,
+    MetricsRegistry,
+    NullProfile,
+    NullRegistry,
+)
 from repro.types import EdgeUpdate
 
 
@@ -63,19 +70,21 @@ class TestTaskCallablesPickle:
 
 
 class TestShippedResultsPickle:
-    def _run(self, telemetry_on):
+    def _run(self, telemetry_on, profile_on=False):
         # The backend ships the store with the batch pre-applied, so the
         # explored update must already exist at its timestamp.
         store = MultiVersionStore()
         store.add_edge(1, 2, ts=1)
         store.add_edge(2, 3, ts=1)
         store.add_edge(1, 3, ts=2)
-        _init_process_worker(store, CliqueMining(3, min_size=3), telemetry_on)
+        _init_process_worker(
+            store, CliqueMining(3, min_size=3), telemetry_on, profile_on
+        )
         return _run_process_task((0, 2, EdgeUpdate(1, 3, added=True)))
 
     def test_result_tuple_pickles_with_telemetry_off(self):
         result = _roundtrip(self._run(telemetry_on=False))
-        index, deltas, metrics, spans, registry = result
+        index, deltas, metrics, spans, registry, profile = result
         assert index == 0
         assert deltas  # closing the triangle emits at least one match
         assert spans == []
@@ -83,14 +92,36 @@ class TestShippedResultsPickle:
         # must stay a no-op after the round trip.
         assert isinstance(registry, NullRegistry)
         assert registry.counter_totals() == {}
+        # Likewise the null profile: stateless, so it ships as an inert
+        # instance and merging it is a no-op.
+        assert isinstance(profile, NullProfile)
+        assert profile.num_updates() == 0
 
     def test_result_tuple_pickles_with_telemetry_on(self):
         result = _roundtrip(self._run(telemetry_on=True))
-        index, deltas, metrics, spans, registry = result
+        index, deltas, metrics, spans, registry, profile = result
         assert deltas
         assert spans, "telemetry on must ship engine spans back"
         assert isinstance(registry, MetricsRegistry)
         assert metrics.emits >= 1
+        assert isinstance(profile, NullProfile)
+
+    def test_result_tuple_pickles_with_profile_on(self):
+        result = _roundtrip(self._run(telemetry_on=False, profile_on=True))
+        _, deltas, _, _, _, profile = result
+        assert deltas
+        assert isinstance(profile, ExplorationProfile)
+        totals = profile.totals()
+        assert totals["updates"] == 1
+        assert totals["new"] >= 1
+        # The shipped profile must merge into a fresh accumulator with its
+        # counts intact (the caller-side merge path).
+        merged = ExplorationProfile()
+        merged.merge(profile)
+        assert merged.totals() == totals
 
     def test_null_registry_pickles(self):
         assert isinstance(_roundtrip(NULL_REGISTRY), NullRegistry)
+
+    def test_null_profile_pickles(self):
+        assert isinstance(_roundtrip(NULL_PROFILE), NullProfile)

@@ -99,13 +99,16 @@ class TestLatencySummary:
         assert summary.windows == 100
         assert summary.p50_seconds == pytest.approx(5.1)  # nearest rank
         assert summary.p95_seconds == pytest.approx(9.5, abs=0.11)
+        assert summary.p99_seconds == pytest.approx(9.9, abs=0.11)
+        assert summary.p95_seconds <= summary.p99_seconds <= summary.max_seconds
         assert summary.max_seconds == pytest.approx(10.0)
         assert summary.mean_seconds == pytest.approx(5.05)
         assert "p95" in summary.report()
+        assert "p99" in summary.report()
 
     def test_empty(self):
         summary = summarize_latencies([])
-        assert summary == LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        assert summary == LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         assert summary.report() == "no windows processed"
 
     def test_merge_order_independent(self):
