@@ -1,0 +1,147 @@
+"""Store read-path microbenchmark: delta index + neighbor cache vs seed path.
+
+PR 6 added two read-path accelerations to every :class:`GraphStore`:
+
+* a per-window **delta index** maintained at apply time, making
+  ``edge_updated_at`` / ``updated_keys_in`` (the DETECT_CHANGES membership
+  probes) O(1) instead of interval scans over every record, and
+* a snapshot-keyed **neighbor cache**, so re-reading a frontier vertex's
+  neighbor states within one window returns a memoized mapping instead of
+  rescanning edge intervals.
+
+This benchmark replays the windowed-mining read pattern — every window's
+update endpoints get their neighbor states read repeatedly while
+exploration expands around them, plus one changed-edge probe per update
+and one ``updated_keys_in`` sweep per window — against two stores fed the
+identical evolving workload:
+
+* ``raw`` — ``MultiVersionStore(cache_size=0, delta_index=False)``, i.e.
+  exactly the seed read path (interval scans everywhere), and
+* ``indexed`` — the default store (delta index on, cache on).
+
+Both passes must produce the same checksum (the stores are observationally
+identical; see tests/property/test_store_equivalence.py), so the timing
+difference is purely the read-path machinery.  Best-of-N minimizes
+scheduler noise.  Results land in the current PR's repo-root bench file
+(see ``_harness.BENCH_PATH``).
+"""
+
+import time
+
+from _harness import WINDOW, lj_bench, print_table, record_bench
+
+from repro.graph.generators import shuffled_edges
+from repro.store.cache import DEFAULT_CACHE_CAPACITY
+from repro.store.mvstore import MultiVersionStore
+
+ROUNDS = 5
+
+#: fraction of lj-bench preloaded at ts=1; the rest arrives in windows
+PRELOAD = 0.5
+
+#: times exploration revisits a window's frontier neighborhoods
+REREADS = 8
+
+
+def _evolving_store(cache_size, delta_index):
+    """Build one store from the shared evolving workload.
+
+    Half of lj-bench is preloaded at ts=1; the remaining edges arrive in
+    WINDOW-sized batches at ts 2, 3, ...  Returns (store, windows) where
+    windows is ``[(ts, batch), ...]`` for the read pass to replay.
+    """
+    graph = lj_bench()
+    edges = shuffled_edges(graph, seed=11)
+    cut = int(len(edges) * PRELOAD)
+    store = MultiVersionStore(cache_size=cache_size, delta_index=delta_index)
+    for u, v in edges[:cut]:
+        store.add_edge(u, v, 1)
+    windows = []
+    pending = edges[cut:]
+    ts = 2
+    for i in range(0, len(pending), WINDOW):
+        batch = pending[i : i + WINDOW]
+        for u, v in batch:
+            store.add_edge(u, v, ts)
+        windows.append((ts, batch))
+        ts += 1
+    return store, windows
+
+
+def _read_pass(store, windows):
+    """The windowed-mining read pattern; returns an equivalence checksum."""
+    checksum = 0
+    for ts, batch in windows:
+        touched = sorted({v for edge in batch for v in edge})
+        for _ in range(REREADS):
+            for v in touched:
+                checksum += len(store.neighbor_states_at(v, ts))
+        for u, v in batch:
+            checksum += store.edge_updated_at(u, v, ts)
+        checksum += len(store.updated_keys_in(ts))
+    return checksum
+
+
+def _time_best(fn, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_store_read_path(benchmark):
+    raw_store, windows = _evolving_store(cache_size=0, delta_index=False)
+    indexed_store, windows_b = _evolving_store(
+        cache_size=DEFAULT_CACHE_CAPACITY, delta_index=True
+    )
+    assert [ts for ts, _ in windows] == [ts for ts, _ in windows_b]
+
+    # identical reads out of both stores before any timing
+    assert _read_pass(raw_store, windows) == _read_pass(indexed_store, windows)
+
+    def measure():
+        return {
+            "raw": _time_best(lambda: _read_pass(raw_store, windows)),
+            "indexed": _time_best(lambda: _read_pass(indexed_store, windows)),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = results["raw"] / results["indexed"]
+    stats = indexed_store.store_stats()
+
+    print_table(
+        "Store read path (lj-bench evolving, best of %d)" % ROUNDS,
+        ["Variant", "Seconds", "Speedup"],
+        [
+            ("seed scan path", f"{results['raw']:.3f}", "—"),
+            ("delta index + cache", f"{results['indexed']:.3f}",
+             f"{speedup:.2f}x"),
+        ],
+    )
+    print(
+        "  cache: %d hits / %d misses (%.1f%% hit ratio), %d delta facts"
+        % (
+            stats["cache_hits"],
+            stats["cache_misses"],
+            100.0 * stats["cache_hit_ratio"],
+            stats["delta_entries"],
+        )
+    )
+    record_bench(
+        "store_read",
+        {
+            "workload": "lj-bench evolving, %d-update windows, %d rereads"
+            % (WINDOW, REREADS),
+            "raw_s": results["raw"],
+            "indexed_s": results["indexed"],
+            "speedup": speedup,
+            "cache_hit_ratio": stats["cache_hit_ratio"],
+            "delta_entries": stats["delta_entries"],
+        },
+    )
+
+    # Acceptance criterion: the indexed + cached read path must beat the
+    # seed scan path on the mining read pattern.
+    assert results["indexed"] < results["raw"], results

@@ -16,7 +16,8 @@ The exploration profiler makes the same promise for its own guard sites
 quantifies the disabled path against the same baseline and prices the
 enabled accumulator.  Exploration does not mutate the store, so the same
 window is re-run for every sample; best-of-N minimizes scheduler noise.
-Results land in repo-root ``BENCH_PR4.json``.
+Results land in the current PR's repo-root bench file (see
+``_harness.BENCH_PATH``).
 """
 
 import time

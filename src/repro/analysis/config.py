@@ -4,7 +4,7 @@ Configuration lives in ``pyproject.toml`` so rule selection rides with the
 repo, not the invocation::
 
     [tool.repro-lint]
-    select = ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    select = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
     exclude = ["**/_version.py"]
     hot-path-modules = ["repro.core", "repro.runtime"]
     thread-safe-classes = ["SomeLockFreeRegistry"]
@@ -28,7 +28,14 @@ except ImportError:  # pragma: no cover - exercised only on 3.10
     tomllib = None  # type: ignore[assignment]
 
 #: every shipped invariant rule, in report order
-DEFAULT_SELECT: Tuple[str, ...] = ("RL001", "RL002", "RL003", "RL004", "RL005")
+DEFAULT_SELECT: Tuple[str, ...] = (
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL006",
+)
 
 #: modules whose hot paths must use the telemetry null objects (RL004)
 DEFAULT_HOT_PATH_MODULES: Tuple[str, ...] = (

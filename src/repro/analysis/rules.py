@@ -1,4 +1,4 @@
-"""The shipped repro-lint rules, RL001–RL005.
+"""The shipped repro-lint rules, RL001–RL006.
 
 Each rule encodes an invariant of this reproduction that example-based
 tests can only spot-check (the paper sections cited are the ones whose
@@ -20,6 +20,10 @@ RL005       Algorithm purity: ``filter``/``match``/``process`` of a
             :class:`MiningAlgorithm` must not do I/O or mutate their
             arguments or ``self`` (paper §4.3 DETECT_CHANGES evaluates
             filter on pre- and post-update versions of one subgraph).
+RL006       Store encapsulation: store-private attributes (``_records``
+            et al.) are only accessed inside ``repro.store``; consumers
+            speak the :class:`GraphStore` protocol, which is what keeps
+            the mv/sharded/remote kinds swappable (paper §4.1).
 ==========  ================================================================
 """
 
@@ -749,3 +753,52 @@ class AlgorithmPurityRule(Rule):
                 f"{where} touches {name}; algorithm callbacks must not "
                 "perform I/O or process-level side effects",
             )
+
+
+# -- RL006: store encapsulation ----------------------------------------------
+
+#: private attributes of the store's record layer; any access outside
+#: ``repro.store`` bypasses the GraphStore protocol (names are chosen to
+#: be store-specific, so the attribute check needs no type information)
+STORE_PRIVATE_ATTRS = {
+    "_records",
+    "_shard_records",
+    "_latest_ts",
+    "_check_ts",
+    "_current_interval",
+    "_get_rec",
+    "_put_rec",
+    "_ensure_record",
+    "_iter_items",
+}
+
+
+@rule
+class StoreEncapsulationRule(Rule):
+    """RL006: store internals are only touched inside ``repro.store``."""
+
+    rule_id = "RL006"
+    summary = (
+        "access to MultiVersionStore privates (_records et al.) outside "
+        "repro.store; speak the GraphStore protocol instead"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module.startswith("repro.store") or ctx.module.startswith(
+            "repro.analysis"
+        ):
+            return
+        for node in ctx.nodes:
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in STORE_PRIVATE_ATTRS
+            ):
+                yield ctx.violation(
+                    node,
+                    self.rule_id,
+                    f"accesses store-private attribute '{node.attr}' outside "
+                    "repro.store; GC, checkpointing, and every consumer must "
+                    "go through the GraphStore protocol (reclaim, "
+                    "get_record/iter_records/put_record, *_at reads) so "
+                    "every store kind stays swappable",
+                )

@@ -46,6 +46,7 @@ from repro.apps import (
 from repro.graph.datasets import GKS_LABELS, dataset_names, dataset_spec, load_dataset
 from repro.graph.io import read_edge_list, read_update_stream, write_edge_list
 from repro.runtime.backend import BACKEND_NAMES
+from repro.store.api import STORE_NAMES
 from repro.runtime.session import StreamingSession
 from repro.types import Update
 
@@ -125,6 +126,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         window_size=args.window,
         num_workers=args.workers,
         initial_graph=initial,
+        store=args.store,
         telemetry=telemetry,
         profile=profiling,
     )
@@ -141,6 +143,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
             args.backend,
             window_size=args.window,
             num_workers=args.workers,
+            store=args.store,
             telemetry=telemetry,
             profile=profiling,
         )
@@ -167,7 +170,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     print(
-        f"# backend={session.backend.name} "
+        f"# backend={session.backend.name} store={session.store.kind} "
         f"windows: {session.latency_summary().report()}",
         file=sys.stderr,
     )
@@ -201,7 +204,9 @@ def cmd_mine(args: argparse.Namespace) -> int:
             meta={
                 "algorithm": algorithm.name,
                 "backend": session.backend.name,
+                "store": session.store.kind,
             },
+            store_stats=session.store.store_stats(),
         )
         _write_text(args.profile_out, json.dumps(doc, sort_keys=True) + "\n")
     session.close()
@@ -324,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKEND_NAMES),
         default="serial",
         help="execution backend for window processing (default: serial)",
+    )
+    p.add_argument(
+        "--store",
+        choices=list(STORE_NAMES),
+        default="mv",
+        help="graph store kind backing the session (default: mv)",
     )
     p.add_argument("--quiet", action="store_true", help="suppress per-delta output")
     p.add_argument(

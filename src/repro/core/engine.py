@@ -21,6 +21,7 @@ from repro.core.api import MiningAlgorithm
 from repro.core.explore import Explorer
 from repro.core.metrics import Metrics
 from repro.graph.adjacency import AdjacencyGraph
+from repro.store.api import GraphStore
 from repro.store.mvstore import MultiVersionStore
 from repro.store.snapshot import ExplorationView
 from repro.streaming.ingress import Window
@@ -39,7 +40,7 @@ class TesseractEngine:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         metrics: Optional[Metrics] = None,
         trace_tasks: bool = False,

@@ -52,7 +52,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.api import MiningAlgorithm
 from repro.core.engine import TesseractEngine
 from repro.core.metrics import Metrics
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore
 from repro.telemetry import (
     NULL_PROFILE,
     NULL_REGISTRY,
@@ -156,7 +156,7 @@ class SerialBackend(ExecutionBackend):
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         metrics: Optional[Metrics] = None,
         trace_tasks: bool = False,
@@ -210,7 +210,7 @@ class ThreadBackend(ExecutionBackend):
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         num_workers: int = 2,
         trace_tasks: bool = False,
@@ -296,14 +296,14 @@ class ThreadBackend(ExecutionBackend):
 # -- process backend ---------------------------------------------------------
 
 # Per-process state, initialized once per worker process per batch.
-_WORKER_STORE: Optional[MultiVersionStore] = None
+_WORKER_STORE: Optional[GraphStore] = None
 _WORKER_ALGORITHM: Optional[MiningAlgorithm] = None
 _WORKER_TELEMETRY_ON: bool = False
 _WORKER_PROFILE_ON: bool = False
 
 
 def _init_process_worker(
-    store: MultiVersionStore,
+    store: GraphStore,
     algorithm: MiningAlgorithm,
     telemetry_on: bool = False,
     profile_on: bool = False,
@@ -361,7 +361,7 @@ class ProcessBackend(ExecutionBackend):
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         num_processes: Optional[int] = None,
         metrics: Optional[Metrics] = None,
@@ -468,7 +468,7 @@ class SimulatedBackend(ExecutionBackend):
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         spec=None,
         algorithm_factory: Optional[Callable[[], MiningAlgorithm]] = None,
@@ -525,7 +525,7 @@ class SimulatedBackend(ExecutionBackend):
 
 def make_backend(
     kind: str,
-    store: MultiVersionStore,
+    store: GraphStore,
     algorithm: MiningAlgorithm,
     *,
     num_workers: Optional[int] = None,

@@ -27,7 +27,7 @@ from repro.dataflow.watermark import WatermarkTracker
 from repro.graph.adjacency import AdjacencyGraph
 from repro.runtime.fault import FaultInjector
 from repro.runtime.worker import WorkerPool
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore, make_store
 from repro.streaming.ingress import IngressNode
 from repro.streaming.pubsub import PubSub, Subscription, Topic
 from repro.streaming.queue import WorkQueue
@@ -47,21 +47,21 @@ class TesseractSystem:
         fault_injector: Optional[FaultInjector] = None,
         gc_enabled: bool = False,
         initial_graph: Optional[AdjacencyGraph] = None,
-        store: Optional[MultiVersionStore] = None,
+        store: "str | GraphStore | None" = None,
         trace_tasks: bool = False,
     ) -> None:
         self.algorithm = algorithm
         self.threaded = threaded
-        if store is not None:
+        if isinstance(store, GraphStore):
             if initial_graph is not None:
                 raise ValueError("pass either initial_graph or store, not both")
             self.store = store
-        elif initial_graph is not None:
-            self.store = MultiVersionStore.from_adjacency(
-                initial_graph, ts=1, num_shards=num_shards
-            )
         else:
-            self.store = MultiVersionStore(num_shards=num_shards)
+            self.store = make_store(
+                store if store is not None else "mv",
+                num_shards=num_shards,
+                graph=initial_graph,
+            )
         self.queue = WorkQueue()
         self.ingress = IngressNode(
             self.store, self.queue, window_size=window_size, gc_enabled=gc_enabled

@@ -25,7 +25,7 @@ from repro.core.api import MiningAlgorithm
 from repro.core.explore import Explorer
 from repro.core.metrics import Metrics
 from repro.runtime.cluster import ClusterSpec
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore
 from repro.store.remote import FetchCosts, RemoteStoreClient
 from repro.store.snapshot import ExplorationView
 from repro.types import EdgeUpdate, MatchDelta, Timestamp
@@ -60,7 +60,7 @@ class SimulatedDeployment:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm_factory,
         spec: ClusterSpec,
         fetch_costs: FetchCosts = FetchCosts(),

@@ -18,7 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.api import MiningAlgorithm
 from repro.core.metrics import Metrics
 from repro.runtime.backend import ProcessBackend
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore
 from repro.types import EdgeUpdate, MatchDelta, Timestamp
 
 
@@ -32,7 +32,7 @@ class MultiprocessRunner:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         num_processes: Optional[int] = None,
         metrics: Optional[Metrics] = None,

@@ -41,7 +41,7 @@ from repro.runtime.backend import (
     make_backend,
 )
 from repro.runtime.stats import LatencySummary, summarize_latencies
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore, make_store
 from repro.streaming.ingress import IngressNode
 from repro.streaming.queue import WorkQueue
 from repro.types import MatchDelta, Timestamp, Update, WindowStats
@@ -52,7 +52,11 @@ class StreamingSession:
 
     ``backend`` is either a registry name (``"serial"``, ``"thread"``,
     ``"process"``, ``"simulated"``) or a ready :class:`ExecutionBackend`
-    instance (which must share this session's store).
+    instance (which must share this session's store).  ``store`` is
+    likewise either a registry name (``"mv"``, ``"sharded"``,
+    ``"remote"``) or a ready :class:`~repro.store.api.GraphStore`; a
+    named store composes with ``initial_graph``, a store instance does
+    not (the instance already holds its data).
     """
 
     def __init__(
@@ -64,7 +68,7 @@ class StreamingSession:
         num_workers: Optional[int] = None,
         num_shards: int = 8,
         initial_graph: Optional[AdjacencyGraph] = None,
-        store: Optional[MultiVersionStore] = None,
+        store: "str | GraphStore | None" = None,
         gc_enabled: bool = False,
         trace_tasks: bool = False,
         spec=None,
@@ -79,16 +83,17 @@ class StreamingSession:
         self.telemetry = ensure(telemetry)
         self.profiling = profile
         self.fault_injector = fault_injector
-        if store is not None:
+        if isinstance(store, GraphStore):
             if initial_graph is not None:
                 raise ValueError("pass either initial_graph or store, not both")
             self.store = store
-        elif initial_graph is not None:
-            self.store = MultiVersionStore.from_adjacency(
-                initial_graph, ts=1, num_shards=num_shards
-            )
         else:
-            self.store = MultiVersionStore(num_shards=num_shards)
+            self.store = make_store(
+                store if store is not None else "mv",
+                num_shards=num_shards,
+                graph=initial_graph,
+                fetch_costs=fetch_costs,
+            )
         self.queue = WorkQueue(telemetry=self.telemetry)
         self.ingress = IngressNode(
             self.store,
@@ -208,6 +213,9 @@ class StreamingSession:
                 )
             )
             new_deltas.extend(deltas)
+            # No later task reads snapshots below this window; let the
+            # store retire read-cache entries for them.
+            self.store.window_completed(ts)
         if new_deltas or self._streams:
             for stream in self._streams:
                 stream.push_deltas(new_deltas)
@@ -270,6 +278,7 @@ class StreamingSession:
         from repro.telemetry.bridge import (
             ingress_to_registry,
             metrics_to_registry,
+            store_to_registry,
         )
 
         out = MetricsRegistry()
@@ -279,6 +288,7 @@ class StreamingSession:
                 out.merge(registry)
         metrics_to_registry(out, self.metrics())
         ingress_to_registry(out, self.ingress)
+        store_to_registry(out, self.store)
         window_stats_to_registry(out, self.window_stats)
         return out
 
@@ -304,7 +314,12 @@ class StreamingSession:
         return build_report(
             self.collect_profile(),
             self.window_stats,
-            meta={"backend": self.backend.name, "algorithm": type(self.algorithm).__name__},
+            meta={
+                "backend": self.backend.name,
+                "store": self.store.kind,
+                "algorithm": type(self.algorithm).__name__,
+            },
+            store_stats=self.store.store_stats(),
             top_k=top_k,
         )
 

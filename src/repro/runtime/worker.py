@@ -26,7 +26,7 @@ from repro.core.engine import TesseractEngine
 from repro.core.metrics import Metrics
 from repro.errors import WorkerCrashed
 from repro.runtime.fault import FaultInjector
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore
 from repro.streaming.pubsub import Topic
 from repro.streaming.queue import WorkItem, WorkQueue
 
@@ -46,7 +46,7 @@ class WorkerPool:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         algorithm: MiningAlgorithm,
         queue: WorkQueue,
         topic: Topic,

@@ -1,0 +1,323 @@
+"""The ``GraphStore`` protocol: one storage contract for every backend.
+
+The paper's store is a swappable component — "our multiversioned graph
+store is sharded but fully accessible to all workers" (§4.1), with the
+disaggregated variant of §7 reading it through a fetch boundary.  This
+module pins down the contract the rest of the reproduction programs
+against, so the in-process flat store (:class:`~repro.store.mvstore.\
+MultiVersionStore`), the physically sharded store (:class:`~repro.store.\
+sharded.ShardedStore`), and the disaggregated client (:class:`~repro.\
+store.remote.RemoteStoreClient`) are interchangeable everywhere: views,
+engine, ingress, GC, checkpointing, and every execution backend.
+
+The contract has four parts:
+
+* a **write path** applied in non-decreasing timestamp order (ingress
+  only): :meth:`GraphStore.add_edge`, :meth:`GraphStore.delete_edge`,
+  :meth:`GraphStore.set_vertex_label`, :meth:`GraphStore.ensure_vertex`;
+* a **timestamped read path** where every query is *as of* a snapshot;
+  :meth:`GraphStore.neighbor_states_at` is the primitive record fetch
+  (list-shaped reads derive from it), the ``edge_*_at`` probes answer
+  single-edge questions;
+* a **record transfer path** (:meth:`GraphStore.get_record`,
+  :meth:`GraphStore.iter_records`, :meth:`GraphStore.put_record`) used by
+  the fetch boundary and checkpointing, so neither needs the store's
+  internals;
+* a **maintenance path**: :meth:`GraphStore.reclaim` (garbage collection
+  behind the protocol, returning per-store stats),
+  :meth:`GraphStore.window_completed` (the cache invalidation hook the
+  streaming loop fires as windows retire), and :meth:`GraphStore.\
+  store_stats` (the run-report surface).
+
+Derived reads (``neighbors_at``, ``edges_at``, ``as_adjacency``, counts)
+are implemented here once, on top of the primitives, so a new store kind
+only implements the genuinely storage-specific surface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import UnknownVertexError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.store.shard import AccessStats, ShardMap
+from repro.types import EdgeKey, Label, Timestamp, VertexId
+
+#: Names accepted by :func:`make_store` and the CLI ``mine --store`` flag.
+STORE_NAMES = ("mv", "sharded", "remote")
+
+
+@dataclass
+class ReclaimStats:
+    """What one :meth:`GraphStore.reclaim` pass dropped.
+
+    ``reclaimed`` counts undirected edge versions (each version is shared
+    by both endpoint records but counted once), matching the return value
+    the original ``collect_garbage`` reported.
+    """
+
+    horizon: Timestamp = 0
+    #: undirected edge versions dropped (deleted at or before the horizon)
+    reclaimed: int = 0
+    #: reclaimed versions per owning shard (shard of the lower endpoint)
+    per_shard: Dict[int, int] = field(default_factory=dict)
+    #: delta-index edge facts pruned alongside the dropped versions
+    index_pruned: int = 0
+    #: neighbor-cache entries invalidated at or below the horizon
+    cache_invalidated: int = 0
+
+
+class GraphStore(abc.ABC):
+    """Abstract multiversioned graph store (paper §4.1, §5.2).
+
+    Implementations expose two shared accounting objects: ``shards`` (a
+    :class:`~repro.store.shard.ShardMap` giving the deterministic record
+    placement) and ``access_stats`` (an :class:`~repro.store.shard.\
+    AccessStats` charged by :meth:`fetch_record`).  All reads are *as of*
+    a timestamp; updates must arrive in non-decreasing timestamp order,
+    which is what makes past snapshots immutable and lets workers read
+    without synchronization (§4.5).
+    """
+
+    #: registry name of this store kind ("mv", "sharded", "remote")
+    kind: str = "?"
+
+    shards: ShardMap
+    access_stats: AccessStats
+
+    # -- write path (ingress only) ----------------------------------------
+
+    @abc.abstractmethod
+    def add_edge(
+        self,
+        u: VertexId,
+        v: VertexId,
+        ts: Timestamp,
+        label: Label = None,
+        direction: Optional[str] = None,
+    ) -> None:
+        """Add edge {u, v} at ``ts``; raises if it is already alive."""
+
+    @abc.abstractmethod
+    def delete_edge(self, u: VertexId, v: VertexId, ts: Timestamp) -> None:
+        """Tombstone edge {u, v} at ``ts``; the version stays until GC."""
+
+    @abc.abstractmethod
+    def set_vertex_label(self, v: VertexId, ts: Timestamp, label: Label) -> None:
+        """Append a label change effective from snapshot ``ts`` onward."""
+
+    @abc.abstractmethod
+    def ensure_vertex(self, v: VertexId) -> None:
+        """Create an (isolated) vertex record if it does not exist."""
+
+    # -- read path (timestamped) ------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def latest_timestamp(self) -> Timestamp:
+        """The highest timestamp any applied update carried."""
+
+    @abc.abstractmethod
+    def has_vertex(self, v: VertexId) -> bool: ...
+
+    @abc.abstractmethod
+    def num_vertices(self) -> int: ...
+
+    @abc.abstractmethod
+    def vertices(self) -> Iterator[VertexId]: ...
+
+    @abc.abstractmethod
+    def vertex_label_at(self, v: VertexId, ts: Timestamp) -> Label: ...
+
+    @abc.abstractmethod
+    def edge_alive_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool: ...
+
+    @abc.abstractmethod
+    def edge_updated_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        """Whether {u, v} was added or deleted exactly at ``ts``."""
+
+    @abc.abstractmethod
+    def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> Label: ...
+
+    @abc.abstractmethod
+    def edge_direction_at(
+        self, u: VertexId, v: VertexId, ts: Timestamp
+    ) -> Optional[str]: ...
+
+    @abc.abstractmethod
+    def neighbor_states_at(
+        self, v: VertexId, ts: Timestamp
+    ) -> Dict[VertexId, Tuple[bool, bool]]:
+        """Adjacency map of ``v`` for window ``ts``: nbr -> (pre, post).
+
+        The primitive record read: for every union-view neighbor, whether
+        the edge is alive in the pre-window snapshot (``ts - 1``) and the
+        post-window snapshot (``ts``).  Implementations may return a
+        cached mapping shared between callers — treat it as read-only.
+        """
+
+    @abc.abstractmethod
+    def updated_keys_in(self, ts: Timestamp) -> Dict[EdgeKey, bool]:
+        """Edges updated exactly at ``ts``: key -> added (True) / deleted.
+
+        The DETECT_CHANGES membership set for one window.
+        """
+
+    # -- derived reads (implemented once, over the primitives) -------------
+
+    def fetch_record(self, v: VertexId):
+        """Fetch a vertex record, charging the owning shard (accounting)."""
+        rec = self.get_record(v)
+        if rec is None:
+            raise UnknownVertexError(v)
+        self.access_stats.record(self.shards.shard_of(v))
+        return rec
+
+    def neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        """Neighbors of ``v`` alive at snapshot ``ts``, sorted by id."""
+        states = self.neighbor_states_at(v, ts)
+        return sorted(dst for dst, (_, post) in states.items() if post)
+
+    def union_neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        """Neighbors alive at ``ts`` or ``ts - 1`` (the exploration view)."""
+        return sorted(self.neighbor_states_at(v, ts))
+
+    def degree_at(self, v: VertexId, ts: Timestamp) -> int:
+        return len(self.neighbors_at(v, ts))
+
+    def edges_at(self, ts: Timestamp) -> Iterator[EdgeKey]:
+        """All edges alive at snapshot ``ts`` (each yielded once, u < v)."""
+        for u, rec in self.iter_records():
+            for v, versions in rec.edges.items():
+                if u < v and any(iv.alive_at(ts) for iv in versions):
+                    yield (u, v)
+
+    def num_edges_at(self, ts: Timestamp) -> int:
+        return sum(1 for _ in self.edges_at(ts))
+
+    def as_adjacency(self, ts: Timestamp) -> AdjacencyGraph:
+        """Materialize the full snapshot at ``ts`` as a plain graph."""
+        g = AdjacencyGraph()
+        for v in self.vertices():
+            g.add_vertex(v)
+            label = self.vertex_label_at(v, ts)
+            if label is not None:
+                g.set_vertex_label(v, label)
+        for u, v in self.edges_at(ts):
+            g.add_edge(
+                u,
+                v,
+                label=self.edge_label_at(u, v, ts),
+                direction=self.edge_direction_at(u, v, ts),
+            )
+        return g
+
+    # -- record transfer (fetch boundary, checkpointing) -------------------
+
+    @abc.abstractmethod
+    def get_record(self, v: VertexId):
+        """The :class:`~repro.store.mvstore.VertexRecord` of ``v``, or None.
+
+        The fetch-boundary read: whole records cross it, everything else
+        is computed from the fetched copy.
+        """
+
+    @abc.abstractmethod
+    def iter_records(self) -> Iterator[Tuple[VertexId, object]]:
+        """Every ``(vertex, record)`` pair, for checkpointing and export."""
+
+    @abc.abstractmethod
+    def put_record(self, v: VertexId, record) -> None:
+        """Install a complete record (checkpoint restore); updates indexes."""
+
+    @abc.abstractmethod
+    def set_latest_timestamp(self, ts: Timestamp) -> None:
+        """Restore the write clock after :meth:`put_record` replay."""
+
+    # -- maintenance -------------------------------------------------------
+
+    @abc.abstractmethod
+    def reclaim(self, horizon: Timestamp) -> ReclaimStats:
+        """Drop edge versions deleted at or before ``horizon``.
+
+        Exploration of any window with timestamp > ``horizon`` only reads
+        snapshots at ``ts`` and ``ts - 1 >= horizon``, and a version with
+        ``deleted_ts <= horizon`` is dead in all such snapshots, so
+        removal is safe.  Sub-horizon reads are undefined afterwards.
+        """
+
+    def window_completed(self, ts: Timestamp) -> None:
+        """Hook fired by the streaming loop once window ``ts`` is done.
+
+        Later windows only read snapshots at or above ``ts``, so stores
+        may retire read-cache entries for older snapshots.  Default: no-op.
+        """
+
+    def tombstone_count(self) -> int:
+        """Number of fully dead edge versions currently retained."""
+        count = 0
+        for u, rec in self.iter_records():
+            for v, versions in rec.edges.items():
+                if u < v:
+                    count += sum(1 for iv in versions if iv.deleted_ts is not None)
+        return count
+
+    def memory_items(self) -> int:
+        """Total adjacency entries held (a proxy for memory footprint)."""
+        return sum(
+            len(versions)
+            for _, rec in self.iter_records()
+            for versions in rec.edges.values()
+        )
+
+    @abc.abstractmethod
+    def store_stats(self) -> Dict[str, object]:
+        """Flat stats dict for run reports: cache counters, access skew."""
+
+
+def make_store(
+    kind: str,
+    *,
+    num_shards: int = 8,
+    graph: Optional[AdjacencyGraph] = None,
+    ts: Timestamp = 1,
+    fetch_costs=None,
+    cache_size: Optional[int] = None,
+) -> GraphStore:
+    """Construct a store by registry name (see :data:`STORE_NAMES`).
+
+    ``graph`` bulk-loads an initial snapshot at timestamp ``ts``.  The
+    ``remote`` kind wraps a flat in-process store behind a
+    :class:`~repro.store.remote.RemoteStoreClient` fetch boundary, with
+    ``fetch_costs`` as its simulated latency model.
+    """
+    from repro.store.mvstore import MultiVersionStore
+    from repro.store.sharded import ShardedStore
+
+    kwargs = {"num_shards": num_shards}
+    if cache_size is not None:
+        kwargs["cache_size"] = cache_size
+    if kind == "mv":
+        cls = MultiVersionStore
+    elif kind == "sharded":
+        cls = ShardedStore
+    elif kind == "remote":
+        from repro.store.remote import FetchCosts, RemoteStoreClient
+
+        inner = (
+            MultiVersionStore.from_adjacency(graph, ts=ts, **kwargs)
+            if graph is not None
+            else MultiVersionStore(**kwargs)
+        )
+        return RemoteStoreClient(
+            inner, costs=fetch_costs if fetch_costs is not None else FetchCosts()
+        )
+    else:
+        raise ValueError(
+            f"unknown store {kind!r}; expected one of {', '.join(STORE_NAMES)}"
+        )
+    if graph is not None:
+        return cls.from_adjacency(graph, ts=ts, **kwargs)
+    return cls(**kwargs)

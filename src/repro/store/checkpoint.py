@@ -8,6 +8,11 @@ JSON checkpoint: :func:`checkpoint_store` serializes the full record set
 durable work queue's log, a crashed deployment recovers to exactly-once
 output: restore the last checkpoint, then replay queued updates whose
 timestamps exceed the checkpoint's.
+
+Serialization speaks only the :class:`~repro.store.api.GraphStore`
+protocol (``iter_records`` / ``put_record``), so any store kind can be
+checkpointed; the checkpoint records the kind and restore rebuilds the
+same one (checkpoints predating the ``kind`` key restore as ``mv``).
 """
 
 from __future__ import annotations
@@ -17,17 +22,18 @@ from pathlib import Path
 from typing import Union
 
 from repro.errors import GraphStoreError
-from repro.store.mvstore import EdgeInterval, MultiVersionStore, VertexRecord
+from repro.store.api import GraphStore, make_store
+from repro.store.mvstore import EdgeInterval, VertexRecord
 
 PathLike = Union[str, Path]
 
 FORMAT_VERSION = 1
 
 
-def store_to_dict(store: MultiVersionStore) -> dict:
+def store_to_dict(store: GraphStore) -> dict:
     """Serializable snapshot of the complete store state."""
     records = {}
-    for v, rec in store._records.items():
+    for v, rec in store.iter_records():
         edges = {
             str(dst): [
                 [iv.added_ts, iv.deleted_ts, iv.label, iv.direction]
@@ -41,28 +47,29 @@ def store_to_dict(store: MultiVersionStore) -> dict:
         }
     return {
         "format": FORMAT_VERSION,
+        "kind": store.kind,
         "latest_ts": store.latest_timestamp,
         "num_shards": store.shards.num_shards,
         "records": records,
     }
 
 
-def store_from_dict(data: dict) -> MultiVersionStore:
+def store_from_dict(data: dict) -> GraphStore:
     """Rebuild a store from :func:`store_to_dict` output."""
     if data.get("format") != FORMAT_VERSION:
         raise GraphStoreError(
             f"unsupported checkpoint format {data.get('format')!r}"
         )
-    store = MultiVersionStore(num_shards=data["num_shards"])
+    store = make_store(data.get("kind", "mv"), num_shards=data["num_shards"])
     # Edge intervals are shared between both endpoints' records; rebuild
     # each undirected edge once and attach the same object to both sides.
     built = {}
+    restored = {}
     for v_str, rec_data in data["records"].items():
         v = int(v_str)
-        record = VertexRecord(
+        restored[v] = VertexRecord(
             label_history=[(ts, label) for ts, label in rec_data["labels"]]
         )
-        store._records[v] = record
     for v_str, rec_data in data["records"].items():
         v = int(v_str)
         for dst_str, versions in rec_data["edges"].items():
@@ -78,16 +85,19 @@ def store_from_dict(data: dict) -> MultiVersionStore:
                     )
                     for entry in versions
                 ]
-            store._records[v].edges[dst] = built[key]
-    store._latest_ts = data["latest_ts"]
+            restored[v].edges[dst] = built[key]
+    for v_str in data["records"]:
+        v = int(v_str)
+        store.put_record(v, restored[v])
+    store.set_latest_timestamp(data["latest_ts"])
     return store
 
 
-def checkpoint_store(store: MultiVersionStore, path: PathLike) -> None:
+def checkpoint_store(store: GraphStore, path: PathLike) -> None:
     """Write a durable checkpoint of the store to ``path``."""
     Path(path).write_text(json.dumps(store_to_dict(store)))
 
 
-def restore_store(path: PathLike) -> MultiVersionStore:
+def restore_store(path: PathLike) -> GraphStore:
     """Recover a store from a checkpoint file."""
     return store_from_dict(json.loads(Path(path).read_text()))

@@ -5,39 +5,30 @@ in-flight exploration can still observe.  A version is reclaimable when its
 deletion timestamp is at or below the *horizon* — the highest timestamp such
 that every window at or below it has been fully processed (the engine's low
 watermark).  Versions still alive, or deleted after the horizon, are kept.
+
+Reclamation itself lives behind the storage protocol
+(:meth:`repro.store.api.GraphStore.reclaim`), so it works on any store
+kind and also maintains the delta index and neighbor cache; this module
+keeps the original function-shaped entry point for callers that only want
+the reclaimed count.
 """
 
 from __future__ import annotations
 
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore, ReclaimStats
 from repro.types import Timestamp
 
 
-def collect_garbage(store: MultiVersionStore, horizon: Timestamp) -> int:
+def collect_garbage(store: GraphStore, horizon: Timestamp) -> int:
     """Drop edge versions deleted at or before ``horizon``.
 
-    Returns the number of undirected edge versions reclaimed.  Exploration
-    of any window with timestamp > ``horizon`` only reads snapshots at
-    ``ts`` and ``ts - 1 >= horizon``, and a version with
-    ``deleted_ts <= horizon`` is dead in all such snapshots, so removal is
-    safe.  Label history is left untouched (it is tiny by comparison).
+    Returns the number of undirected edge versions reclaimed; use
+    :func:`collect_garbage_stats` (or :meth:`~repro.store.api.GraphStore.\
+    reclaim` directly) for the full per-store breakdown.
     """
-    reclaimed = 0
-    for u, record in store._records.items():
-        empty_neighbors = []
-        for v, versions in record.edges.items():
-            kept = [
-                iv
-                for iv in versions
-                if iv.deleted_ts is None or iv.deleted_ts > horizon
-            ]
-            dropped = len(versions) - len(kept)
-            if dropped:
-                versions[:] = kept
-                if u < v:
-                    reclaimed += dropped
-            if not kept:
-                empty_neighbors.append(v)
-        for v in empty_neighbors:
-            del record.edges[v]
-    return reclaimed
+    return store.reclaim(horizon).reclaimed
+
+
+def collect_garbage_stats(store: GraphStore, horizon: Timestamp) -> ReclaimStats:
+    """Like :func:`collect_garbage`, returning the full reclaim stats."""
+    return store.reclaim(horizon)

@@ -18,15 +18,26 @@ Updates must be applied in non-decreasing timestamp order (the ingress node
 guarantees this); reads at any past timestamp then return consistent
 snapshots without synchronization, which is what lets workers run
 independently (section 4.5).
+
+:class:`BaseRecordStore` implements the full :class:`~repro.store.api.\
+GraphStore` protocol over five record-map primitives, layering in the
+per-window :class:`~repro.store.delta.DeltaIndex` (O(1) updated-at probes)
+and the snapshot-keyed :class:`~repro.store.cache.NeighborCache`.
+:class:`MultiVersionStore` is the flat-dict record map; the physically
+sharded map lives in :mod:`repro.store.sharded`.
 """
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import InvalidUpdateError, UnknownVertexError
+from repro.errors import InvalidUpdateError
 from repro.graph.adjacency import AdjacencyGraph
+from repro.store.api import GraphStore, ReclaimStats
+from repro.store.cache import DEFAULT_CACHE_CAPACITY, NeighborCache
+from repro.store.delta import DeltaIndex
 from repro.store.shard import AccessStats, ShardMap
 from repro.types import EdgeKey, Label, Timestamp, VertexId, edge_key
 
@@ -71,16 +82,61 @@ class VertexRecord:
         return result
 
 
-class MultiVersionStore:
-    """Multiversioned, sharded graph store with timestamped adjacency lists."""
+class BaseRecordStore(GraphStore):
+    """Protocol implementation over an abstract vertex-record map.
 
-    def __init__(self, num_shards: int = 8) -> None:
-        self._records: Dict[VertexId, VertexRecord] = {}
+    Subclasses supply only the record-map primitives (``_get_rec`` /
+    ``_ensure_record`` / ``_put_rec`` / ``_iter_items`` / ``_keys``); the
+    write validation, interval bookkeeping, delta index, neighbor cache,
+    and reclamation logic are shared here.
+
+    ``cache_size=0`` disables the neighbor cache and ``delta_index=False``
+    falls back to interval scans for updated-at probes — both exist so the
+    benchmark suite can price the seed read path against the indexed one.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 8,
+        cache_size: int = DEFAULT_CACHE_CAPACITY,
+        delta_index: bool = True,
+    ) -> None:
         self._latest_ts: Timestamp = 0
         self.shards = ShardMap(num_shards)
-        self.access_stats = AccessStats()
+        self.access_stats = AccessStats(num_shards=num_shards)
+        self._delta = DeltaIndex()
+        self._delta_enabled = delta_index
+        self._cache = NeighborCache(capacity=cache_size)
 
-    # -- write path (ingress only) -------------------------------------------
+    # -- record-map primitives (subclass responsibility) -------------------
+
+    @abc.abstractmethod
+    def _get_rec(self, v: VertexId) -> Optional[VertexRecord]:
+        """The record of ``v``, or None."""
+
+    @abc.abstractmethod
+    def _ensure_record(self, v: VertexId) -> VertexRecord:
+        """The record of ``v``, created if missing."""
+
+    @abc.abstractmethod
+    def _put_rec(self, v: VertexId, record: VertexRecord) -> None:
+        """Install (or replace) the record of ``v``."""
+
+    @abc.abstractmethod
+    def _iter_items(self) -> Iterator[Tuple[VertexId, VertexRecord]]:
+        """Every (vertex, record) pair, in a deterministic order."""
+
+    @abc.abstractmethod
+    def _keys(self) -> Iterator[VertexId]:
+        """Every vertex id, in the same order as :meth:`_iter_items`."""
+
+    @abc.abstractmethod
+    def _contains(self, v: VertexId) -> bool: ...
+
+    @abc.abstractmethod
+    def _len(self) -> int: ...
+
+    # -- write path (ingress only) -----------------------------------------
 
     def add_edge(
         self,
@@ -112,8 +168,9 @@ class MultiVersionStore:
             label=label,
             direction=normalize_direction(u, v, direction),
         )
-        self._record(u).edges.setdefault(v, []).append(interval)
-        self._record(v).edges.setdefault(u, []).append(interval)
+        self._ensure_record(u).edges.setdefault(v, []).append(interval)
+        self._ensure_record(v).edges.setdefault(u, []).append(interval)
+        self._after_edge_write(u, v, ts, added=True)
         self._latest_ts = max(self._latest_ts, ts)
 
     def delete_edge(self, u: VertexId, v: VertexId, ts: Timestamp) -> None:
@@ -123,12 +180,13 @@ class MultiVersionStore:
         if current is None or not current.alive_at(ts - 1) or current.added_ts == ts:
             raise InvalidUpdateError(f"edge ({u}, {v}) does not exist before ts {ts}")
         current.deleted_ts = ts
+        self._after_edge_write(u, v, ts, added=False)
         self._latest_ts = max(self._latest_ts, ts)
 
     def set_vertex_label(self, v: VertexId, ts: Timestamp, label: Label) -> None:
         """Append a label change effective from snapshot ``ts`` onward."""
         self._check_ts(ts)
-        history = self._record(v).label_history
+        history = self._ensure_record(v).label_history
         if history and history[-1][0] == ts:
             history[-1] = (ts, label)
         else:
@@ -136,7 +194,20 @@ class MultiVersionStore:
         self._latest_ts = max(self._latest_ts, ts)
 
     def ensure_vertex(self, v: VertexId) -> None:
-        self._record(v)
+        self._ensure_record(v)
+
+    def _after_edge_write(
+        self, u: VertexId, v: VertexId, ts: Timestamp, added: bool
+    ) -> None:
+        """Maintain the delta index and cache coherence for one edge write."""
+        if self._delta_enabled:
+            self._delta.note(ts, edge_key(u, v), added)
+        if self._cache.enabled:
+            # A write at ts rewrites what snapshots >= ts read for both
+            # endpoints (only reachable for entries cached at the current
+            # timestamp, e.g. during bulk loads sharing one ts).
+            self._cache.invalidate_vertex(u, ts)
+            self._cache.invalidate_vertex(v, ts)
 
     def _check_ts(self, ts: Timestamp) -> None:
         if ts < self._latest_ts:
@@ -147,15 +218,8 @@ class MultiVersionStore:
         if ts < 1:
             raise InvalidUpdateError("timestamps start at 1")
 
-    def _record(self, v: VertexId) -> VertexRecord:
-        rec = self._records.get(v)
-        if rec is None:
-            rec = VertexRecord()
-            self._records[v] = rec
-        return rec
-
     def _current_interval(self, u: VertexId, v: VertexId) -> Optional[EdgeInterval]:
-        rec = self._records.get(u)
+        rec = self._get_rec(u)
         if rec is None:
             return None
         versions = rec.edges.get(v)
@@ -165,10 +229,14 @@ class MultiVersionStore:
 
     @classmethod
     def from_adjacency(
-        cls, graph: AdjacencyGraph, ts: Timestamp = 1, num_shards: int = 8
-    ) -> "MultiVersionStore":
+        cls,
+        graph: AdjacencyGraph,
+        ts: Timestamp = 1,
+        num_shards: int = 8,
+        cache_size: int = DEFAULT_CACHE_CAPACITY,
+    ):
         """Load a whole static graph as one snapshot at timestamp ``ts``."""
-        store = cls(num_shards=num_shards)
+        store = cls(num_shards=num_shards, cache_size=cache_size)
         for v in graph.vertices():
             store.ensure_vertex(v)
             label = graph.vertex_label(v)
@@ -182,7 +250,7 @@ class MultiVersionStore:
                 label=graph.edge_label(u, v),
                 direction=graph.edge_direction(u, v),
             )
-        store._latest_ts = max(store._latest_ts, ts)
+        store.set_latest_timestamp(max(store.latest_timestamp, ts))
         return store
 
     # -- read path (timestamped) -------------------------------------------
@@ -191,45 +259,86 @@ class MultiVersionStore:
     def latest_timestamp(self) -> Timestamp:
         return self._latest_ts
 
+    def set_latest_timestamp(self, ts: Timestamp) -> None:
+        self._latest_ts = ts
+
     def has_vertex(self, v: VertexId) -> bool:
-        return v in self._records
+        return self._contains(v)
 
     def num_vertices(self) -> int:
-        return len(self._records)
+        return self._len()
 
     def vertices(self) -> Iterator[VertexId]:
-        return iter(self._records)
+        return self._keys()
 
-    def fetch_record(self, v: VertexId) -> VertexRecord:
-        """Fetch a vertex record, charging the owning shard (accounting)."""
-        rec = self._records.get(v)
-        if rec is None:
-            raise UnknownVertexError(v)
-        self.access_stats.record(self.shards.shard_of(v))
-        return rec
+    def get_record(self, v: VertexId) -> Optional[VertexRecord]:
+        return self._get_rec(v)
+
+    def iter_records(self) -> Iterator[Tuple[VertexId, VertexRecord]]:
+        return self._iter_items()
+
+    def put_record(self, v: VertexId, record: VertexRecord) -> None:
+        """Install a complete record (checkpoint restore); reindexes it.
+
+        Delta-index facts are derived from the lower endpoint's record
+        only, so putting both endpoints of a shared edge notes each fact
+        exactly once.
+        """
+        self._put_rec(v, record)
+        if self._delta_enabled:
+            for dst, versions in record.edges.items():
+                if v < dst:
+                    key = (v, dst)
+                    for iv in versions:
+                        self._delta.note(iv.added_ts, key, True)
+                        if iv.deleted_ts is not None:
+                            self._delta.note(iv.deleted_ts, key, False)
+        if self._cache.enabled:
+            self._cache.invalidate_vertex(v, 0)
 
     def vertex_label_at(self, v: VertexId, ts: Timestamp) -> Label:
-        rec = self._records.get(v)
+        rec = self._get_rec(v)
         if rec is None:
             return None
         return rec.label_at(ts)
 
     def edge_alive_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
-        rec = self._records.get(u)
+        rec = self._get_rec(u)
         if rec is None:
             return False
         return any(iv.alive_at(ts) for iv in rec.edges.get(v, ()))
 
     def edge_updated_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
-        """Whether {u, v} was added or deleted exactly at ``ts``."""
-        rec = self._records.get(u)
+        """Whether {u, v} was added or deleted exactly at ``ts``.
+
+        With the delta index on (the default) this is one dict probe; the
+        fallback scans the edge's interval versions.
+        """
+        if self._delta_enabled:
+            return self._delta.updated_at(edge_key(u, v), ts)
+        rec = self._get_rec(u)
         if rec is None:
             return False
         return any(iv.updated_at(ts) for iv in rec.edges.get(v, ()))
 
+    def updated_keys_in(self, ts: Timestamp) -> Dict[EdgeKey, bool]:
+        """Edges updated exactly at ``ts``: key -> added (True) / deleted."""
+        if self._delta_enabled:
+            return self._delta.keys_in(ts)
+        out: Dict[EdgeKey, bool] = {}
+        for u, rec in self._iter_items():
+            for v, versions in rec.edges.items():
+                if u < v:
+                    for iv in versions:
+                        if iv.added_ts == ts:
+                            out[(u, v)] = True
+                        elif iv.deleted_ts == ts:
+                            out[(u, v)] = False
+        return out
+
     def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> Label:
         """Label of edge {u, v} at ``ts`` (None if absent or unlabeled)."""
-        rec = self._records.get(u)
+        rec = self._get_rec(u)
         if rec is None:
             return None
         for iv in rec.edges.get(v, ()):
@@ -242,24 +351,13 @@ class MultiVersionStore:
     ) -> Optional[str]:
         """Normalized direction of edge {u, v} at ``ts`` (None if absent
         or undirected)."""
-        rec = self._records.get(u)
+        rec = self._get_rec(u)
         if rec is None:
             return None
         for iv in rec.edges.get(v, ()):
             if iv.alive_at(ts):
                 return iv.direction
         return None
-
-    def neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
-        """Neighbors of ``v`` alive at snapshot ``ts``, sorted by id."""
-        rec = self._records.get(v)
-        if rec is None:
-            return []
-        return sorted(
-            dst
-            for dst, versions in rec.edges.items()
-            if any(iv.alive_at(ts) for iv in versions)
-        )
 
     def neighbor_states_at(
         self, v: VertexId, ts: Timestamp
@@ -269,9 +367,16 @@ class MultiVersionStore:
         One pass over the vertex record yields, for every union-view
         neighbor, whether the edge is alive in the pre-window snapshot
         (``ts - 1``) and the post-window snapshot (``ts``).  This is the
-        record a worker fetches to explore around ``v``.
+        record a worker fetches to explore around ``v``.  Results are
+        cached per ``(v, ts)`` snapshot key; the returned mapping may be
+        shared between callers and must not be mutated.
         """
-        rec = self._records.get(v)
+        cache = self._cache
+        if cache.enabled:
+            cached = cache.get(v, ts)
+            if cached is not None:
+                return cached
+        rec = self._get_rec(v)
         if rec is None:
             return {}
         out: Dict[VertexId, Tuple[bool, bool]] = {}
@@ -287,69 +392,119 @@ class MultiVersionStore:
                     break
             if pre or post:
                 out[dst] = (pre, post)
+        if cache.enabled:
+            cache.put(v, ts, out)
         return out
-
-    def union_neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
-        """Neighbors alive at ``ts`` or at ``ts - 1`` (the exploration view).
-
-        Exploration must traverse edges deleted in the current window so
-        that removed matches are discovered; a deleted edge has
-        ``deleted_ts == ts`` and is alive at ``ts - 1``.
-        """
-        rec = self._records.get(v)
-        if rec is None:
-            return []
-        return sorted(
-            dst
-            for dst, versions in rec.edges.items()
-            if any(iv.alive_at(ts) or iv.alive_at(ts - 1) for iv in versions)
-        )
-
-    def degree_at(self, v: VertexId, ts: Timestamp) -> int:
-        return len(self.neighbors_at(v, ts))
-
-    def edges_at(self, ts: Timestamp) -> Iterator[EdgeKey]:
-        """All edges alive at snapshot ``ts`` (each yielded once, u < v)."""
-        for u, rec in self._records.items():
-            for v, versions in rec.edges.items():
-                if u < v and any(iv.alive_at(ts) for iv in versions):
-                    yield (u, v)
-
-    def num_edges_at(self, ts: Timestamp) -> int:
-        return sum(1 for _ in self.edges_at(ts))
-
-    def as_adjacency(self, ts: Timestamp) -> AdjacencyGraph:
-        """Materialize the full snapshot at ``ts`` as a plain graph."""
-        g = AdjacencyGraph()
-        for v in self._records:
-            g.add_vertex(v)
-            label = self.vertex_label_at(v, ts)
-            if label is not None:
-                g.set_vertex_label(v, label)
-        for u, v in self.edges_at(ts):
-            g.add_edge(
-                u,
-                v,
-                label=self.edge_label_at(u, v, ts),
-                direction=self.edge_direction_at(u, v, ts),
-            )
-        return g
 
     # -- maintenance -------------------------------------------------------
 
-    def tombstone_count(self) -> int:
-        """Number of fully dead edge versions currently retained."""
-        count = 0
-        for u, rec in self._records.items():
-            for v, versions in rec.edges.items():
-                if u < v:
-                    count += sum(1 for iv in versions if iv.deleted_ts is not None)
-        return count
+    def reclaim(self, horizon: Timestamp) -> ReclaimStats:
+        """Drop edge versions deleted at or before ``horizon`` (GC).
 
-    def memory_items(self) -> int:
-        """Total adjacency entries held (a proxy for memory footprint)."""
-        return sum(
-            len(versions)
-            for rec in self._records.values()
-            for versions in rec.edges.values()
+        Returns per-store :class:`~repro.store.api.ReclaimStats`;
+        ``reclaimed`` counts undirected edge versions, exactly as the
+        original ``collect_garbage`` did.  The delta index discards the
+        facts of every dropped interval (so updated-at probes keep
+        agreeing with interval scans at any timestamp), and the neighbor
+        cache drops entries at or below the horizon (their pre-snapshot
+        data may reference reclaimed versions).  Label history is left
+        untouched (it is tiny by comparison).
+        """
+        stats = ReclaimStats(horizon=horizon)
+        for u, record in self._iter_items():
+            empty_neighbors = []
+            for v, versions in record.edges.items():
+                dead = [
+                    iv
+                    for iv in versions
+                    if iv.deleted_ts is not None and iv.deleted_ts <= horizon
+                ]
+                if dead:
+                    key = (u, v) if u < v else (v, u)
+                    if self._delta_enabled:
+                        # Idempotent: shared intervals reach here from both
+                        # endpoints; the second discard is a no-op.
+                        for iv in dead:
+                            stats.index_pruned += self._delta.discard(
+                                iv.added_ts, key
+                            )
+                            stats.index_pruned += self._delta.discard(
+                                iv.deleted_ts, key
+                            )
+                    if u < v:
+                        stats.reclaimed += len(dead)
+                        shard = self.shards.shard_of(u)
+                        stats.per_shard[shard] = (
+                            stats.per_shard.get(shard, 0) + len(dead)
+                        )
+                    versions[:] = [
+                        iv
+                        for iv in versions
+                        if iv.deleted_ts is None or iv.deleted_ts > horizon
+                    ]
+                if not versions:
+                    empty_neighbors.append(v)
+            for v in empty_neighbors:
+                del record.edges[v]
+        if self._cache.enabled:
+            stats.cache_invalidated = self._cache.invalidate_through(horizon)
+        return stats
+
+    def window_completed(self, ts: Timestamp) -> None:
+        """Streaming-loop hook: window ``ts`` is done; retire older entries."""
+        if self._cache.enabled:
+            self._cache.invalidate_below(ts)
+
+    def store_stats(self) -> Dict[str, object]:
+        """Flat stats dict for run reports and the telemetry bridge."""
+        stats: Dict[str, object] = {
+            "kind": self.kind,
+            "num_shards": self.shards.num_shards,
+            "delta_entries": self._delta.size() if self._delta_enabled else 0,
+            "access_total": self.access_stats.total,
+            "access_imbalance": self.access_stats.imbalance(),
+        }
+        stats.update(self._cache.stats())
+        return stats
+
+
+class MultiVersionStore(BaseRecordStore):
+    """Multiversioned graph store over one flat in-process record map."""
+
+    kind = "mv"
+
+    def __init__(
+        self,
+        num_shards: int = 8,
+        cache_size: int = DEFAULT_CACHE_CAPACITY,
+        delta_index: bool = True,
+    ) -> None:
+        super().__init__(
+            num_shards=num_shards, cache_size=cache_size, delta_index=delta_index
         )
+        self._records: Dict[VertexId, VertexRecord] = {}
+
+    def _get_rec(self, v: VertexId) -> Optional[VertexRecord]:
+        return self._records.get(v)
+
+    def _ensure_record(self, v: VertexId) -> VertexRecord:
+        rec = self._records.get(v)
+        if rec is None:
+            rec = VertexRecord()
+            self._records[v] = rec
+        return rec
+
+    def _put_rec(self, v: VertexId, record: VertexRecord) -> None:
+        self._records[v] = record
+
+    def _iter_items(self) -> Iterator[Tuple[VertexId, VertexRecord]]:
+        return iter(self._records.items())
+
+    def _keys(self) -> Iterator[VertexId]:
+        return iter(self._records)
+
+    def _contains(self, v: VertexId) -> bool:
+        return v in self._records
+
+    def _len(self) -> int:
+        return len(self._records)

@@ -6,21 +6,24 @@ disaggregation of §7).  Workers therefore read the store through a fetch
 boundary: whole vertex records cross it, and everything else is computed
 worker-side from the fetched copy.
 
-:class:`RemoteStoreClient` makes that boundary explicit.  It implements
-the same read interface as :class:`~repro.store.snapshot.ExplorationView`
-consumes, but every first touch of a vertex performs a *fetch*: it is
-logged, charged simulated latency, and cached worker-side.  Engines run
-unmodified over it, and the accumulated accounting feeds cost analyses
-without any tracing hooks in the engine itself.
+:class:`RemoteStoreClient` makes that boundary explicit while itself
+implementing the full :class:`~repro.store.api.GraphStore` protocol, so
+engines, GC, and checkpointing run unmodified over it.  Every first touch
+of a vertex on the read path performs a *fetch*: it is logged, charged
+simulated latency, and cached worker-side.  Writes pass through to the
+inner store and invalidate the client's fetched copies of the touched
+endpoints; the accumulated accounting feeds cost analyses without any
+tracing hooks in the engine itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.store.mvstore import MultiVersionStore
-from repro.types import Timestamp, VertexId
+from repro.store.api import GraphStore, ReclaimStats
+from repro.store.mvstore import BaseRecordStore
+from repro.types import EdgeKey, Label, Timestamp, VertexId
 
 
 @dataclass(frozen=True)
@@ -41,7 +44,7 @@ class FetchLog:
     per_shard: Dict[int, int] = field(default_factory=dict)
 
 
-class RemoteStoreClient:
+class RemoteStoreClient(GraphStore):
     """Worker-side client over a (conceptually remote) store.
 
     One client per worker; the cache is the worker's soft state and can be
@@ -49,9 +52,11 @@ class RemoteStoreClient:
     graphs cached at workers can be lost without affecting correctness").
     """
 
+    kind = "remote"
+
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: BaseRecordStore,
         costs: FetchCosts = FetchCosts(),
         cache_capacity: Optional[int] = None,
     ) -> None:
@@ -62,13 +67,23 @@ class RemoteStoreClient:
         # vertex -> full interval adjacency copy (the fetched record)
         self._cache: Dict[VertexId, dict] = {}
 
+    # shard placement and access accounting belong to the inner store
+
+    @property
+    def shards(self):
+        return self.store.shards
+
+    @property
+    def access_stats(self):
+        return self.store.access_stats
+
     # -- the fetch boundary ------------------------------------------------
 
     def _fetch(self, v: VertexId) -> dict:
         cached = self._cache.get(v)
         if cached is not None:
             return cached
-        record = self.store._records.get(v)
+        record = self.store.get_record(v)
         edges = dict(record.edges) if record is not None else {}
         entries = sum(len(versions) for versions in edges.values())
         self.log.fetches += 1
@@ -90,7 +105,36 @@ class RemoteStoreClient:
         """Simulate a worker restart: soft state vanishes."""
         self._cache.clear()
 
-    # -- read interface (mirrors MultiVersionStore reads) ---------------------
+    def _invalidate(self, *vertices: VertexId) -> None:
+        """A write touched these records; drop the fetched copies."""
+        for v in vertices:
+            self._cache.pop(v, None)
+
+    # -- write path (delegates to the inner store) -------------------------
+
+    def add_edge(
+        self,
+        u: VertexId,
+        v: VertexId,
+        ts: Timestamp,
+        label: Label = None,
+        direction: Optional[str] = None,
+    ) -> None:
+        self.store.add_edge(u, v, ts, label=label, direction=direction)
+        self._invalidate(u, v)
+
+    def delete_edge(self, u: VertexId, v: VertexId, ts: Timestamp) -> None:
+        self.store.delete_edge(u, v, ts)
+        self._invalidate(u, v)
+
+    def set_vertex_label(self, v: VertexId, ts: Timestamp, label: Label) -> None:
+        self.store.set_vertex_label(v, ts, label)
+        self._invalidate(v)
+
+    def ensure_vertex(self, v: VertexId) -> None:
+        self.store.ensure_vertex(v)
+
+    # -- read interface (computed from fetched records) --------------------
 
     def neighbor_states_at(
         self, v: VertexId, ts: Timestamp
@@ -122,22 +166,73 @@ class RemoteStoreClient:
     def edge_updated_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
         return any(iv.updated_at(ts) for iv in self._fetch(u).get(v, ()))
 
-    def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp):
+    def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> Label:
         for iv in self._fetch(u).get(v, ()):
             if iv.alive_at(ts):
                 return iv.label
         return None
 
-    def edge_direction_at(self, u: VertexId, v: VertexId, ts: Timestamp):
+    def edge_direction_at(
+        self, u: VertexId, v: VertexId, ts: Timestamp
+    ) -> Optional[str]:
         for iv in self._fetch(u).get(v, ()):
             if iv.alive_at(ts):
                 return iv.direction
         return None
 
-    def vertex_label_at(self, v: VertexId, ts: Timestamp):
+    def vertex_label_at(self, v: VertexId, ts: Timestamp) -> Label:
         # labels live with the vertex record; fetching it charges the shard
         self._fetch(v)
         return self.store.vertex_label_at(v, ts)
 
     def has_vertex(self, v: VertexId) -> bool:
         return self.store.has_vertex(v)
+
+    def num_vertices(self) -> int:
+        return self.store.num_vertices()
+
+    def vertices(self) -> Iterator[VertexId]:
+        return self.store.vertices()
+
+    @property
+    def latest_timestamp(self) -> Timestamp:
+        return self.store.latest_timestamp
+
+    def set_latest_timestamp(self, ts: Timestamp) -> None:
+        self.store.set_latest_timestamp(ts)
+
+    def updated_keys_in(self, ts: Timestamp) -> Dict[EdgeKey, bool]:
+        return self.store.updated_keys_in(ts)
+
+    # -- record transfer ---------------------------------------------------
+
+    def get_record(self, v: VertexId):
+        return self.store.get_record(v)
+
+    def iter_records(self):
+        return self.store.iter_records()
+
+    def put_record(self, v: VertexId, record) -> None:
+        self.store.put_record(v, record)
+        self._invalidate(v)
+
+    # -- maintenance -------------------------------------------------------
+
+    def reclaim(self, horizon: Timestamp) -> ReclaimStats:
+        """GC the inner store; fetched copies may hold reclaimed versions,
+        so the client cache is dropped wholesale."""
+        stats = self.store.reclaim(horizon)
+        self.drop_cache()
+        return stats
+
+    def window_completed(self, ts: Timestamp) -> None:
+        self.store.window_completed(ts)
+
+    def store_stats(self) -> Dict[str, object]:
+        stats = self.store.store_stats()
+        stats["kind"] = self.kind
+        stats["fetches"] = self.log.fetches
+        stats["fetch_bytes_proxy"] = self.log.records_bytes_proxy
+        stats["fetch_simulated_seconds"] = self.log.simulated_seconds
+        stats["client_cache_entries"] = len(self._cache)
+        return stats

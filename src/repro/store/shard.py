@@ -10,7 +10,7 @@ in one process.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.types import VertexId
 
@@ -36,6 +36,9 @@ class AccessStats:
 
     per_shard: Dict[int, int] = field(default_factory=dict)
     total: int = 0
+    #: shard count of the owning store; when set, untouched shards count
+    #: as zero-load in :meth:`imbalance` instead of being ignored
+    num_shards: Optional[int] = None
 
     def record(self, shard: int) -> None:
         self.per_shard[shard] = self.per_shard.get(shard, 0) + 1
@@ -46,9 +49,16 @@ class AccessStats:
         self.total = 0
 
     def imbalance(self) -> float:
-        """Max/mean shard load ratio (1.0 = perfectly balanced)."""
+        """Max/mean shard load ratio (1.0 = perfectly balanced).
+
+        The mean is taken over *all* shards when ``num_shards`` is known —
+        a fetch pattern that touches only one of eight shards is maximally
+        skewed, not perfectly balanced.  Without a shard count (legacy
+        construction) only touched shards enter the mean.
+        """
         if not self.per_shard:
             return 1.0
         loads: List[int] = list(self.per_shard.values())
-        mean = sum(loads) / len(loads)
+        denominator = self.num_shards if self.num_shards else len(loads)
+        mean = sum(loads) / denominator
         return max(loads) / mean if mean else 1.0

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore
 from repro.types import Label, Timestamp, VertexId
 
 
@@ -25,7 +25,7 @@ class SnapshotView:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         ts: Timestamp,
         recorder: Optional[Set[VertexId]] = None,
     ) -> None:
@@ -81,7 +81,7 @@ class ExplorationView:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         ts: Timestamp,
         recorder: Optional[Set[VertexId]] = None,
     ) -> None:

@@ -23,8 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import InvalidUpdateError
-from repro.store.gc import collect_garbage
-from repro.store.mvstore import MultiVersionStore
+from repro.store.api import GraphStore, ReclaimStats
 from repro.streaming.queue import WorkQueue
 from repro.types import (
     EdgeKey,
@@ -59,7 +58,7 @@ class IngressNode:
 
     def __init__(
         self,
-        store: MultiVersionStore,
+        store: GraphStore,
         queue: Optional[WorkQueue] = None,
         window_size: int = 100,
         window_seconds: Optional[float] = None,
@@ -107,6 +106,8 @@ class IngressNode:
         self.updates_dropped = 0
         self.updates_accepted = 0
         self.gc_reclaimed = 0
+        #: full stats of the most recent GC pass (None before the first)
+        self.last_reclaim: Optional[ReclaimStats] = None
 
     # -- submission --------------------------------------------------------
 
@@ -344,9 +345,9 @@ class IngressNode:
         for update in deferred:
             self._apply_to_pending(update)
         if self.gc_enabled and self.queue is not None:
-            self.gc_reclaimed += collect_garbage(
-                self.store, self.queue.low_watermark()
-            )
+            stats = self.store.reclaim(self.queue.low_watermark())
+            self.gc_reclaimed += stats.reclaimed
+            self.last_reclaim = stats
         return window
 
     # -- introspection -------------------------------------------------------

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.metrics import Metrics
+    from repro.store.api import GraphStore
     from repro.streaming.ingress import IngressNode
     from repro.telemetry.registry import MetricsRegistry
 
@@ -81,3 +82,31 @@ def ingress_to_registry(registry: "MetricsRegistry", ingress: "IngressNode") -> 
         "repro_ingress_gc_reclaimed_total",
         "store records reclaimed by garbage collection",
     ).set_total(ingress.gc_reclaimed)
+
+
+#: numeric store_stats keys bridged as gauges, with help text.  Cache
+#: hit/miss counts depend on worker scheduling and on how many store
+#: copies a backend materializes (process workers fork cold caches), so
+#: none of these belong in the deterministic ``counter_totals`` contract.
+STORE_GAUGES = (
+    ("cache_hits", "neighbor-cache hits"),
+    ("cache_misses", "neighbor-cache misses"),
+    ("cache_evictions", "neighbor-cache capacity evictions"),
+    ("cache_invalidations", "neighbor-cache entries invalidated"),
+    ("cache_entries", "neighbor-cache resident entries"),
+    ("cache_hit_ratio", "neighbor-cache hit ratio"),
+    ("delta_entries", "delta-index edge facts held"),
+    ("access_total", "vertex-record fetches charged to shards"),
+    ("access_imbalance", "max/mean shard fetch-load ratio over all shards"),
+    ("fetches", "remote-store record fetches"),
+    ("fetch_simulated_seconds", "simulated seconds spent in remote fetches"),
+)
+
+
+def store_to_registry(registry: "MetricsRegistry", store: "GraphStore") -> None:
+    """Project a store's stats snapshot into ``repro_store_*`` gauges."""
+    stats = store.store_stats()
+    for key, help_text in STORE_GAUGES:
+        value = stats.get(key)
+        if value is not None:
+            registry.gauge(f"repro_store_{key}", help_text).set(float(value))

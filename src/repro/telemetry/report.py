@@ -32,15 +32,18 @@ def profile_document(
     profile: ExplorationProfile,
     window_stats: Sequence[Any] = (),
     meta: Optional[Dict[str, Any]] = None,
+    store_stats: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The JSON document ``mine --profile-out`` writes.
 
     Bundles the profile with the session's per-window stats (and optional
-    run metadata) so a report can be rendered later from the file alone.
+    run metadata and store stats) so a report can be rendered later from
+    the file alone.
     """
     doc = profile.to_dict()
     doc["schema"] = PROFILE_SCHEMA
     doc["meta"] = dict(meta or {})
+    doc["store"] = dict(store_stats or {})
     doc["window_stats"] = [
         {
             "timestamp": w.timestamp,
@@ -65,6 +68,8 @@ class RunReport:
     totals: Dict[str, Any] = field(default_factory=dict)
     windows: List[Dict[str, Any]] = field(default_factory=list)
     top_updates: List[Dict[str, Any]] = field(default_factory=list)
+    #: store_stats snapshot (cache counters, delta-index size, access skew)
+    store: Dict[str, Any] = field(default_factory=dict)
 
     # -- derived indices ---------------------------------------------------
 
@@ -112,6 +117,7 @@ class RunReport:
             "pruning_ratio": self.pruning_ratio,
             "filter_reject_ratio": self.filter_reject_ratio,
             "top_updates": [dict(entry) for entry in self.top_updates],
+            "store": dict(self.store),
         }
 
     def dump_json(self) -> str:
@@ -155,6 +161,20 @@ class RunReport:
             f"  imbalance  worst {self.imbalance_index:.2f}x, "
             f"mean {self.mean_imbalance:.2f}x over {len(self.windows)} windows"
         )
+        if self.store:
+            lines.append(
+                f"  shard skew {self.store.get('access_imbalance', 1.0):.2f}x "
+                f"fetch imbalance over {self.store.get('num_shards', '?')} "
+                f"shards ({self.store.get('access_total', 0)} fetches)"
+            )
+            lines.append(
+                f"  store      {self.store.get('kind', '?')}: "
+                f"cache {self.store.get('cache_hits', 0)} hits / "
+                f"{self.store.get('cache_misses', 0)} misses "
+                f"({self.store.get('cache_hit_ratio', 0.0):.1%}), "
+                f"{self.store.get('cache_evictions', 0)} evictions, "
+                f"{self.store.get('delta_entries', 0)} delta facts"
+            )
         if self.windows:
             lines.append("  windows    ts    tasks  cost      max-task  imbalance")
             for row in self.windows:
@@ -180,6 +200,7 @@ def build_report(
     profile: ExplorationProfile,
     window_stats: Sequence[Any] = (),
     meta: Optional[Dict[str, Any]] = None,
+    store_stats: Optional[Dict[str, Any]] = None,
     top_k: int = 5,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from live session state."""
@@ -195,6 +216,7 @@ def build_report(
         totals=profile.totals(),
         windows=profile.window_rows(),
         top_updates=top,
+        store=dict(store_stats or {}),
     )
 
 
@@ -220,7 +242,11 @@ def report_from_document(doc: Dict[str, Any], top_k: int = 5) -> RunReport:
     profile = ExplorationProfile.from_dict(doc)
     window_stats = [_Window(entry) for entry in doc.get("window_stats", ())]
     return build_report(
-        profile, window_stats, meta=doc.get("meta") or {}, top_k=top_k
+        profile,
+        window_stats,
+        meta=doc.get("meta") or {},
+        store_stats=doc.get("store") or {},
+        top_k=top_k,
     )
 
 

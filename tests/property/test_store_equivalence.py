@@ -1,0 +1,246 @@
+"""Property tests: every GraphStore kind is observationally identical.
+
+The :class:`~repro.store.api.GraphStore` protocol promises that the flat
+``mv`` store, the physically sharded store, and the remote fetch-boundary
+client are interchangeable: identical ``SnapshotView``/``ExplorationView``
+reads at every timestamp, identical mining output on every backend, and
+identical reads before and after :meth:`~repro.store.api.GraphStore.\
+reclaim` at any valid horizon.  These tests drive randomized evolving
+workloads through all kinds and compare them observation by observation.
+"""
+
+import itertools
+import pickle
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import CliqueMining
+from repro.core.engine import collect_matches
+from repro.runtime.backend import BACKEND_NAMES
+from repro.runtime.session import StreamingSession
+from repro.store.api import STORE_NAMES, make_store
+from repro.store.snapshot import ExplorationView, SnapshotView
+from repro.types import Update
+
+SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def stream_bytes(deltas):
+    """Canonical per-delta byte encoding (see test_backend_equivalence)."""
+    return b"\x00".join(pickle.dumps(d) for d in deltas)
+
+
+@st.composite
+def edit_scripts(draw, max_vertices=7, length=24):
+    """A timestamped add/delete script, one window per timestamp.
+
+    Returns ``[(ts, key, added), ...]`` with timestamps 1..T; every delete
+    targets a currently live edge and no edge is touched twice in one
+    window, so the script applies cleanly to any store.
+    """
+    n = draw(st.integers(min_value=4, max_value=max_vertices))
+    possible = list(itertools.combinations(range(n), 2))
+    per_window = draw(st.sampled_from([1, 2, 4]))
+    script = []
+    present = set()
+    ts = 1
+    in_window = set()
+    for _ in range(length):
+        if len(in_window) >= per_window:
+            ts += 1
+            in_window = set()
+        deletable = sorted(present - in_window)
+        delete = deletable and draw(
+            st.floats(min_value=0.0, max_value=1.0)
+        ) < 0.45
+        if delete:
+            key = draw(st.sampled_from(deletable))
+            present.discard(key)
+            script.append((ts, key, False))
+        else:
+            addable = [e for e in possible if e not in present and e not in in_window]
+            if not addable:
+                ts += 1
+                in_window = set()
+                continue
+            key = draw(st.sampled_from(addable))
+            present.add(key)
+            script.append((ts, key, True))
+        in_window.add(key)
+    return script
+
+
+def apply_script(store, script):
+    for ts, (u, v), added in script:
+        if added:
+            store.add_edge(u, v, ts)
+        else:
+            store.delete_edge(u, v, ts)
+    return store
+
+
+def observations(store, ts, vertices):
+    """Every protocol-level read of one snapshot, in canonical form."""
+    snap = SnapshotView(store, ts)
+    view = ExplorationView(store, ts) if ts >= 1 else None
+    rows = []
+    for v in vertices:
+        rows.append(
+            (
+                v,
+                store.neighbors_at(v, ts),
+                store.union_neighbors_at(v, ts),
+                dict(sorted(store.neighbor_states_at(v, ts).items())),
+                store.degree_at(v, ts),
+                snap.has_vertex(v),
+                view.neighbors(v) if view else None,
+            )
+        )
+        for u in vertices:
+            if u < v:
+                rows.append(
+                    (
+                        (u, v),
+                        store.edge_alive_at(u, v, ts),
+                        store.edge_updated_at(u, v, ts),
+                        view.updated_in_window(u, v) if view else None,
+                        view.edge_state(u, v) if view else None,
+                    )
+                )
+    rows.append(sorted(store.edges_at(ts)))
+    rows.append(dict(sorted(store.updated_keys_in(ts).items())))
+    return rows
+
+
+class TestStoreReadEquivalence:
+    @SETTINGS
+    @given(edit_scripts())
+    def test_all_kinds_read_identically(self, script):
+        if not script:
+            return
+        stores = {
+            kind: apply_script(make_store(kind), script) for kind in STORE_NAMES
+        }
+        vertices = sorted({v for _, key, _ in script for v in key})
+        last_ts = stores["mv"].latest_timestamp
+        for ts in range(1, last_ts + 1):
+            reference = observations(stores["mv"], ts, vertices)
+            for kind in ("sharded", "remote"):
+                assert observations(stores[kind], ts, vertices) == reference, (
+                    f"{kind} store reads diverged from mv at ts {ts}"
+                )
+
+    @SETTINGS
+    @given(edit_scripts(), st.integers(min_value=0, max_value=10))
+    def test_reads_unchanged_after_reclaim(self, script, horizon_seed):
+        """reclaim(horizon) never changes reads at snapshots > horizon."""
+        if not script:
+            return
+        vertices = sorted({v for _, key, _ in script for v in key})
+        for kind in STORE_NAMES:
+            store = apply_script(make_store(kind), script)
+            last_ts = store.latest_timestamp
+            horizon = horizon_seed % (last_ts + 1)
+            before = {
+                ts: observations(store, ts, vertices)
+                for ts in range(horizon + 1, last_ts + 1)
+            }
+            stats = store.reclaim(horizon)
+            assert stats.reclaimed >= 0
+            after = {
+                ts: observations(store, ts, vertices)
+                for ts in range(horizon + 1, last_ts + 1)
+            }
+            assert after == before, (
+                f"{kind} reads changed after reclaim({horizon})"
+            )
+
+    @SETTINGS
+    @given(edit_scripts(length=16))
+    def test_reclaim_drops_exactly_dead_versions(self, script):
+        """reclaimed count == tombstones at or below the horizon; the
+        delta index keeps agreeing with interval scans afterwards."""
+        if not script:
+            return
+        for kind in ("mv", "sharded"):
+            store = apply_script(make_store(kind), script)
+            last_ts = store.latest_timestamp
+            expected_dead = sum(
+                1 for ts, _, added in script if not added and ts <= last_ts
+            )
+            stats = store.reclaim(last_ts)
+            assert stats.reclaimed == expected_dead
+            assert stats.index_pruned == 2 * expected_dead or not expected_dead
+            assert sum(stats.per_shard.values()) == stats.reclaimed
+            assert store.tombstone_count() == 0
+            # idempotent: a second pass at the same horizon finds nothing
+            assert store.reclaim(last_ts).reclaimed == 0
+
+
+class TestStoreMiningEquivalence:
+    @SETTINGS
+    @given(edit_scripts(length=20))
+    def test_mining_byte_identical_across_stores_and_backends(self, script):
+        """The acceptance-criteria matrix: store × backend, one stream."""
+        updates = [
+            Update.add_edge(*key) if added else Update.delete_edge(*key)
+            for _, key, added in script
+        ]
+        reference = None
+        for kind in STORE_NAMES:
+            for backend in BACKEND_NAMES:
+                session = StreamingSession(
+                    CliqueMining(4, min_size=3),
+                    backend,
+                    window_size=3,
+                    store=kind,
+                    num_workers=2,
+                    gc_enabled=True,
+                )
+                session.submit_many(updates)
+                session.flush()
+                deltas = session.deltas()
+                session.close()
+                if reference is None:
+                    reference = deltas
+                    reference_bytes = stream_bytes(deltas)
+                    reference_live = collect_matches(deltas)
+                else:
+                    assert deltas == reference, f"{kind}×{backend} diverged"
+                    assert stream_bytes(deltas) == reference_bytes, (
+                        f"{kind}×{backend} stream not byte-identical"
+                    )
+                    assert collect_matches(deltas) == reference_live
+
+    @SETTINGS
+    @given(edit_scripts(length=18))
+    def test_mining_output_survives_mid_stream_reclaim(self, script):
+        """GC between flushes never changes the remaining delta stream."""
+        updates = [
+            Update.add_edge(*key) if added else Update.delete_edge(*key)
+            for _, key, added in script
+        ]
+        half = len(updates) // 2
+
+        def run(kind, reclaim_mid):
+            session = StreamingSession(
+                CliqueMining(3, min_size=3), "serial", window_size=2, store=kind
+            )
+            session.submit_many(updates[:half])
+            session.flush()
+            if reclaim_mid:
+                session.store.reclaim(session.queue.low_watermark())
+            session.submit_many(updates[half:])
+            session.flush()
+            deltas = session.deltas()
+            session.close()
+            return deltas
+
+        for kind in STORE_NAMES:
+            assert run(kind, True) == run(kind, False), (
+                f"mid-stream reclaim changed {kind} output"
+            )

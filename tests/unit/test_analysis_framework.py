@@ -52,7 +52,14 @@ class TestSuppressions:
 
 class TestConfig:
     def test_registry_has_exactly_the_shipped_rules(self):
-        assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert sorted(RULES) == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        ]
 
     def test_unknown_rule_id_is_an_error(self):
         with pytest.raises(ValueError, match="RL999"):
@@ -81,7 +88,14 @@ class TestConfig:
 
     def test_load_config_reads_repo_pyproject(self):
         config = load_config(pyproject=REPO / "pyproject.toml")
-        assert config.enabled_rules() == ("RL001", "RL002", "RL003", "RL004", "RL005")
+        assert config.enabled_rules() == (
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+        )
 
 
 class TestReporters:

@@ -1,4 +1,4 @@
-"""Fixture-verified true positives and true negatives for RL001-RL005.
+"""Fixture-verified true positives and true negatives for RL001-RL006.
 
 Each rule gets at least one snippet it MUST flag and one it MUST NOT.
 Snippets are linted through :func:`repro.analysis.lint_source` with
@@ -357,6 +357,62 @@ class TestAlgorithmPurityRL005:
                     batch.append(1)
         """
         assert rules_hit(src) == []
+
+
+class TestStoreEncapsulationRL006:
+    def test_flags_records_access_outside_store(self):
+        src = """
+            def gc_pass(store, horizon):
+                for v, record in store._records.items():
+                    pass
+        """
+        assert rules_hit(src, path="src/repro/streaming/_fixture.py") == [
+            "RL006"
+        ]
+
+    def test_flags_latest_ts_write_outside_store(self):
+        src = """
+            def rewind(store):
+                store._latest_ts = 0
+        """
+        assert rules_hit(src, path="src/repro/runtime/_fixture.py") == ["RL006"]
+
+    def test_flags_shard_records_access(self):
+        src = """
+            def peek(store):
+                return store._shard_records[0]
+        """
+        assert rules_hit(src, path="src/repro/core/_fixture.py") == ["RL006"]
+
+    def test_store_modules_are_exempt(self):
+        src = """
+            def reclaim(store, horizon):
+                for v, record in store._records.items():
+                    pass
+                store._latest_ts = 0
+        """
+        assert rules_hit(src, path="src/repro/store/_fixture.py") == []
+
+    def test_protocol_access_passes(self):
+        src = """
+            def snapshot(store, ts):
+                return [store.get_record(v) for v in store.vertices()]
+
+            def gc_pass(store, horizon):
+                return store.reclaim(horizon).reclaimed
+        """
+        assert rules_hit(src, path="src/repro/streaming/_fixture.py") == []
+
+    def test_unrelated_private_attrs_pass(self):
+        src = """
+            class Buffered:
+                def __init__(self):
+                    self._buffer = []
+
+                def push(self, item):
+                    self._buffer.append(item)
+        """
+        assert rules_hit(src, path="src/repro/dataflow/_fixture.py") == []
 
 
 class TestSyntaxErrors:

@@ -160,4 +160,21 @@ class TestAccessStats:
         st.record(0)
         st.record(0)
         st.record(1)
+        # legacy construction (no shard count): mean over touched shards
         assert st.imbalance() == pytest.approx(2 / 1.5)
+
+    def test_imbalance_counts_untouched_shards(self):
+        st = AccessStats(num_shards=4)
+        assert st.imbalance() == 1.0
+        st.record(0)
+        st.record(0)
+        st.record(1)
+        # mean = 3/4 over ALL shards, not 3/2 over the touched ones
+        assert st.imbalance() == pytest.approx(2 / (3 / 4))
+
+    def test_imbalance_single_hot_shard_is_maximal(self):
+        st = AccessStats(num_shards=8)
+        for _ in range(8):
+            st.record(3)
+        # one shard takes everything: max/mean == num_shards
+        assert st.imbalance() == pytest.approx(8.0)
