@@ -1,0 +1,109 @@
+"""Network transport microbenchmark: RPC overhead and batched fetches.
+
+PR 7 put a real TCP path under the store (``repro.net``): framed RPC with
+deadlines and retries, a :class:`StoreServer`, and the wire-backed
+:class:`NetStoreClient`.  Two costs matter for mining over that path:
+
+* the **per-call round trip** — every protocol read that misses the
+  client cache pays it, so it bounds how chatty exploration can afford
+  to be, and
+* the **batching win** — ``prefetch`` ships one ``multi_get`` frame for
+  a whole frontier instead of one ``get_record`` round trip per vertex,
+  which is the lever the paper's fetch-ahead strategy turns.
+
+Both passes read the identical record set off the identical store, so
+the timing difference is purely wire mechanics.  Loopback numbers are a
+lower bound on real-network gains: batching amortizes per-call latency,
+and loopback latency is as small as it gets.  Results land in the
+current PR's repo-root bench file (see ``_harness.BENCH_PATH``).
+"""
+
+import time
+
+from _harness import lj_bench, print_table, record_bench
+
+from repro.net import NetStoreClient
+
+ROUNDS = 5
+
+#: pings measured per round for the round-trip figure
+PINGS = 200
+
+#: frontier size fetched per batching round (every vertex cold)
+FRONTIER = 250
+
+
+def _time_best(fn):
+    best = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_net_rpc_overhead(benchmark):
+    graph = lj_bench()
+    client = NetStoreClient(graph=graph)
+    vertices = sorted(graph.vertices())[:FRONTIER]
+
+    rpc = client._rpc
+
+    def ping_pass():
+        for _ in range(PINGS):
+            rpc.call("ping", {})
+
+    def singles_pass():
+        client.drop_cache()
+        for v in vertices:
+            client.get_record(v)
+
+    def batched_pass():
+        client.drop_cache()
+        client.prefetch(vertices)
+
+    # both fetch paths must materialize the same records
+    client.drop_cache()
+    singles = {v: client.get_record(v).edges.keys() for v in vertices}
+    client.drop_cache()
+    client.prefetch(vertices)
+    assert {v: client._cache[v].edges.keys() for v in vertices} == singles
+
+    def measure():
+        return {
+            "ping": _time_best(ping_pass),
+            "singles": _time_best(singles_pass),
+            "batched": _time_best(batched_pass),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    client.close()
+
+    round_trip_s = results["ping"] / PINGS
+    speedup = results["singles"] / results["batched"]
+    print_table(
+        "Net RPC (loopback, best of %d)" % ROUNDS,
+        ["Operation", "Seconds", "Per item", "Speedup"],
+        [
+            ("ping x%d" % PINGS, f"{results['ping']:.4f}",
+             f"{round_trip_s * 1e6:.0f}us", "—"),
+            ("get_record x%d" % FRONTIER, f"{results['singles']:.4f}",
+             f"{results['singles'] / FRONTIER * 1e6:.0f}us", "—"),
+            ("prefetch(%d)" % FRONTIER, f"{results['batched']:.4f}",
+             f"{results['batched'] / FRONTIER * 1e6:.0f}us",
+             f"{speedup:.2f}x"),
+        ],
+    )
+    record_bench(
+        "net_rpc",
+        {
+            "ping_round_trip_s": round_trip_s,
+            "single_fetch_total_s": results["singles"],
+            "batched_fetch_total_s": results["batched"],
+            "batch_speedup_x": speedup,
+            "frontier": FRONTIER,
+        },
+    )
+    # a whole-frontier batch must beat per-vertex round trips
+    assert speedup > 1.5

@@ -35,6 +35,7 @@ DEFAULT_SELECT: Tuple[str, ...] = (
     "RL004",
     "RL005",
     "RL006",
+    "RL007",
 )
 
 #: modules whose hot paths must use the telemetry null objects (RL004)

@@ -1,4 +1,4 @@
-"""The shipped repro-lint rules, RL001–RL006.
+"""The shipped repro-lint rules, RL001–RL007.
 
 Each rule encodes an invariant of this reproduction that example-based
 tests can only spot-check (the paper sections cited are the ones whose
@@ -24,6 +24,10 @@ RL006       Store encapsulation: store-private attributes (``_records``
             et al.) are only accessed inside ``repro.store``; consumers
             speak the :class:`GraphStore` protocol, which is what keeps
             the mv/sharded/remote kinds swappable (paper §4.1).
+RL007       Network encapsulation: raw sockets (``socket``/``selectors``)
+            are only touched inside ``repro.net``; everything else speaks
+            the framed RPC layer, which is where deadlines, retries, and
+            the exactly-once write discipline live (PR 7).
 ==========  ================================================================
 """
 
@@ -802,3 +806,41 @@ class StoreEncapsulationRule(Rule):
                     "get_record/iter_records/put_record, *_at reads) so "
                     "every store kind stays swappable",
                 )
+
+
+# -- RL007: network encapsulation --------------------------------------------
+
+#: modules that open raw network I/O; importing one outside ``repro.net``
+#: bypasses the framed RPC layer's deadline/retry/exactly-once machinery
+RAW_NETWORK_MODULES = {"socket", "selectors"}
+
+
+@rule
+class NetEncapsulationRule(Rule):
+    """RL007: raw sockets are only opened inside ``repro.net``."""
+
+    rule_id = "RL007"
+    summary = (
+        "import of socket/selectors outside repro.net; go through the "
+        "framed RPC layer (RpcClient/StoreServer) instead"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module.startswith("repro.net"):
+            return
+        for node in ctx.nodes:
+            modules: List[str] = []
+            if isinstance(node, ast.Import):
+                modules = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                modules = [node.module.split(".")[0]]
+            for module in modules:
+                if module in RAW_NETWORK_MODULES:
+                    yield ctx.violation(
+                        node,
+                        self.rule_id,
+                        f"imports {module!r} outside repro.net; raw sockets "
+                        "bypass the framed RPC layer's deadlines, bounded "
+                        "retries, and exactly-once write deduplication — use "
+                        "RpcClient/StoreServer (or NetStoreClient) instead",
+                    )

@@ -20,6 +20,10 @@ Commands
 ``datasets``
     List the available dataset stand-ins.
 
+``serve-store``
+    Serve a graph store over TCP (:mod:`repro.net`) so other processes
+    can mine against it with ``mine --store net --store-addr``.
+
 ``lint``
     Run repro-lint, the project's AST-based invariant checker
     (:mod:`repro.analysis`), over the source tree.
@@ -120,43 +124,40 @@ def cmd_mine(args: argparse.Namespace) -> int:
 
         telemetry = Telemetry()
     profiling = bool(args.profile_out or args.report)
-    session = StreamingSession(
-        algorithm,
-        args.backend,
+    if not args.updates and initial is None:
+        raise SystemExit("provide --updates, --graph, or both")
+    session_kwargs = dict(
         window_size=args.window,
         num_workers=args.workers,
-        initial_graph=initial,
         store=args.store,
+        store_addr=args.store_addr,
         telemetry=telemetry,
         profile=profiling,
     )
-    count = session.output_stream().count()
+    from repro.net.errors import NetError
+
     start = time.perf_counter()
-    if args.updates:
-        session.submit_many(read_update_stream(args.updates))
-    elif initial is None:
-        raise SystemExit("provide --updates, --graph, or both")
-    else:
-        # static mode: re-mine the provided graph as an addition stream
-        fresh = StreamingSession(
-            algorithm,
-            args.backend,
-            window_size=args.window,
-            num_workers=args.workers,
-            store=args.store,
-            telemetry=telemetry,
-            profile=profiling,
-        )
-        count = fresh.output_stream().count()
-        for v in sorted(initial.vertices()):
-            label = initial.vertex_label(v)
-            fresh.submit(Update.add_vertex(v, label))
-        fresh.submit_many(
-            Update.add_edge(u, v, initial.edge_label(u, v))
-            for u, v in initial.sorted_edges()
-        )
-        session = fresh
-    session.flush()
+    try:
+        if args.updates:
+            session = StreamingSession(
+                algorithm, args.backend, initial_graph=initial, **session_kwargs
+            )
+            count = session.output_stream().count()
+            session.submit_many(read_update_stream(args.updates))
+        else:
+            # static mode: re-mine the provided graph as an addition stream
+            session = StreamingSession(algorithm, args.backend, **session_kwargs)
+            count = session.output_stream().count()
+            for v in sorted(initial.vertices()):
+                label = initial.vertex_label(v)
+                session.submit(Update.add_vertex(v, label))
+            session.submit_many(
+                Update.add_edge(u, v, initial.edge_label(u, v))
+                for u, v in initial.sorted_edges()
+            )
+        session.flush()
+    except NetError as exc:
+        raise SystemExit(f"mine: network store unavailable: {exc}")
     elapsed = time.perf_counter() - start
     deltas = session.deltas()
     if not args.quiet:
@@ -270,6 +271,31 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve_store(args: argparse.Namespace) -> int:
+    """Serve a graph store over TCP until interrupted."""
+    from repro.net.server import StoreServer
+    from repro.net.wire import split_address
+    from repro.store.api import make_store
+
+    graph = read_edge_list(args.graph) if args.graph else None
+    store = make_store(args.kind, num_shards=args.shards, graph=graph)
+    try:
+        host, port = split_address(args.addr)
+    except ValueError as exc:
+        raise SystemExit(f"serve-store: {exc}")
+    server = StoreServer(store, host, port)
+    host, port = server.address
+    # parsed by scripts (and the CI smoke step) to discover the bound port
+    print(f"serving {store.kind} store on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run repro-lint (``repro.analysis``) over the given paths."""
     from repro.analysis import main as lint_main
@@ -335,6 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(STORE_NAMES),
         default="mv",
         help="graph store kind backing the session (default: mv)",
+    )
+    p.add_argument(
+        "--store-addr",
+        metavar="HOST:PORT",
+        help="with --store net: connect to a running 'repro serve-store' "
+        "server instead of spawning an embedded loopback one",
     )
     p.add_argument("--quiet", action="store_true", help="suppress per-delta output")
     p.add_argument(
@@ -404,7 +436,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser(
-        "lint", help="run the repro-lint invariant checker (rules RL001-RL005)"
+        "serve-store", help="serve a graph store over TCP (see --store net)"
+    )
+    p.add_argument(
+        "--addr",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address; port 0 picks a free port (printed on startup)",
+    )
+    p.add_argument(
+        "--kind",
+        choices=["mv", "sharded"],
+        default="mv",
+        help="store kind to serve (default: mv)",
+    )
+    p.add_argument("--shards", type=int, default=8)
+    p.add_argument("--graph", help="edge-list file preloaded into the store")
+    p.set_defaults(func=cmd_serve_store)
+
+    p = sub.add_parser(
+        "lint", help="run the repro-lint invariant checker (rules RL001-RL007)"
     )
     p.add_argument("paths", nargs="*", default=["src/repro"])
     p.add_argument("--format", choices=["text", "json"], default="text")

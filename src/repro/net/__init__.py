@@ -1,0 +1,38 @@
+"""Real network transport for the disaggregated store (paper §4.1, §7).
+
+Layered bottom-up: :mod:`repro.net.frames` (length-prefixed framing),
+:mod:`repro.net.wire` (canonical-JSON payloads and record codecs),
+:mod:`repro.net.rpc` (deadlines, retries, pooling),
+:mod:`repro.net.server` / :mod:`repro.net.client` (a
+:class:`~repro.store.api.GraphStore` served over TCP and consumed through
+the same protocol).  This package is the only place in the tree allowed
+to touch raw sockets (repro-lint RL007).
+"""
+
+from repro.net.client import NetStoreClient
+from repro.net.errors import (
+    ApplicationError,
+    NetError,
+    ProtocolError,
+    TransportError,
+)
+from repro.net.frames import MAX_PAYLOAD, PROTOCOL_VERSION, MessageType
+from repro.net.rpc import NetLog, RetryPolicy, RpcClient
+from repro.net.server import StoreServer
+from repro.net.wire import split_address
+
+__all__ = [
+    "ApplicationError",
+    "MAX_PAYLOAD",
+    "MessageType",
+    "NetError",
+    "NetLog",
+    "NetStoreClient",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RetryPolicy",
+    "RpcClient",
+    "StoreServer",
+    "TransportError",
+    "split_address",
+]

@@ -1,0 +1,412 @@
+"""``NetStoreClient``: the full ``GraphStore`` protocol over real sockets.
+
+This is :class:`~repro.store.remote.RemoteStoreClient` with the simulation
+removed: the fetch boundary is identical — whole vertex records cross it,
+every read is computed worker-side from the fetched copy, writes
+invalidate the touched copies — but the fetch is an actual RPC to a
+:class:`~repro.net.server.StoreServer` instead of an in-process method
+call.  Because engines, GC, and checkpointing only ever see the
+:class:`~repro.store.api.GraphStore` protocol, mining output over this
+client is byte-identical to the in-process stores (the acceptance
+invariant of the networking PR).
+
+Accounting runs double-entry:
+
+* :attr:`log` is the same :class:`~repro.store.remote.FetchLog`, charged
+  by the same rules as the simulated client (one fetch per first record
+  touch, ``max(entries, 1)`` bytes-proxy, modeled latency) so cost
+  analyses and ``repro_store_*`` gauges stay comparable across clients;
+* :attr:`net_log` is the wire truth (RPC count, retries, deadline hits,
+  real bytes on the socket) from the underlying RPC client, surfaced as
+  ``repro_net_*`` gauges.
+
+Construction has two modes.  With an ``address`` the client connects to
+an already-running server (``repro serve-store``).  Without one it spawns
+an **embedded loopback server** over a fresh in-process store — that is
+what ``make_store("net")`` uses, so ``mine --store net`` works standalone
+while still pushing every record over a real TCP socket.
+
+The client survives pickling (the process backend ships the store to
+workers): sockets and the embedded server stay behind, and the unpickled
+copy redials the same address with a fresh session.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.net.rpc import DEFAULT_DEADLINE, NetLog, RetryPolicy, RpcClient
+from repro.net.server import StoreServer
+from repro.net.wire import (
+    decode_record,
+    decode_reclaim_stats,
+    decode_timestamp,
+    decode_updated_keys,
+    encode_record,
+    split_address,
+)
+from repro.store.api import GraphStore, ReclaimStats
+from repro.store.mvstore import MultiVersionStore, VertexRecord
+from repro.store.remote import FetchCosts, FetchLog
+from repro.store.shard import AccessStats, ShardMap
+from repro.types import EdgeKey, Label, Timestamp, VertexId
+
+#: records per multi_get RPC when scanning (iter_records, prefetch)
+BATCH_SIZE = 256
+
+Address = Union[str, Tuple[str, int]]
+
+
+class NetStoreClient(GraphStore):
+    """Worker-side store client speaking framed RPC over TCP.
+
+    The cache is soft state exactly as in the simulated client: it can be
+    dropped at any time (worker restart, reclaim) without correctness
+    impact, because every entry is a private deep copy of a server record.
+    """
+
+    kind = "net"
+
+    def __init__(
+        self,
+        address: Optional[Address] = None,
+        *,
+        costs: FetchCosts = FetchCosts(),
+        cache_capacity: Optional[int] = None,
+        deadline: float = DEFAULT_DEADLINE,
+        retry: Optional[RetryPolicy] = None,
+        pool_size: int = 2,
+        num_shards: int = 8,
+        graph=None,
+        ts: Timestamp = 1,
+    ) -> None:
+        self.costs = costs
+        self.cache_capacity = cache_capacity
+        self.log = FetchLog()
+        self._lock = threading.Lock()
+        self._cache: Dict[VertexId, VertexRecord] = {}
+        self._updated_memo: Optional[Tuple[Timestamp, Dict[EdgeKey, bool]]] = None
+        self._server: Optional[StoreServer] = None
+        load_graph = None
+        if address is None:
+            inner = (
+                MultiVersionStore.from_adjacency(graph, ts=ts, num_shards=num_shards)
+                if graph is not None
+                else MultiVersionStore(num_shards=num_shards)
+            )
+            self._server = StoreServer(inner).start()
+            host, port = self._server.address
+        else:
+            host, port = (
+                split_address(address) if isinstance(address, str) else address
+            )
+            load_graph = graph  # external server: bulk-load over the wire
+        self._rpc = RpcClient(
+            host, port, deadline=deadline, retry=retry, pool_size=pool_size
+        )
+        hello = self._rpc.call("hello", {})
+        self._session: int = hello["session"]
+        self._seq = 0
+        self._latest: Timestamp = decode_timestamp(hello["latest_ts"])
+        self.shards = ShardMap(hello["num_shards"])
+        self.access_stats = AccessStats(num_shards=hello["num_shards"])
+        if load_graph is not None:
+            self._bulk_load(load_graph, ts)
+
+    def _bulk_load(self, graph, ts: Timestamp) -> None:
+        """Push an initial snapshot to an external server, record by record."""
+        staged = MultiVersionStore.from_adjacency(
+            graph, ts=ts, num_shards=self.shards.num_shards
+        )
+        for v, record in staged.iter_records():
+            self.put_record(v, record)
+        self.set_latest_timestamp(max(ts, self._latest))
+
+    # -- wire accounting ---------------------------------------------------
+
+    @property
+    def net_log(self) -> NetLog:
+        """Wire-level truth: RPCs, retries, deadline hits, real bytes."""
+        return self._rpc.log
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self._rpc.host, self._rpc.port)
+
+    # -- the fetch boundary ------------------------------------------------
+
+    def _fetch(self, v: VertexId) -> VertexRecord:
+        """First touch fetches the whole record over the wire and caches it.
+
+        Charging mirrors :meth:`RemoteStoreClient._fetch` field for field,
+        which is what keeps the two clients' ``FetchLog`` reconcilable.
+        """
+        cached = self._cache.get(v)
+        if cached is not None:
+            return cached
+        record = decode_record(self._rpc.call("get_record", {"v": v}))
+        if record is None:
+            record = VertexRecord()  # missing vertex reads as empty
+        self._charge_fetch(v, record)
+        if (
+            self.cache_capacity is not None
+            and len(self._cache) >= self.cache_capacity
+        ):
+            self._cache.pop(next(iter(self._cache)))  # FIFO eviction
+        self._cache[v] = record
+        return record
+
+    def _charge_fetch(self, v: VertexId, record: VertexRecord) -> None:
+        entries = sum(len(versions) for versions in record.edges.values())
+        self.log.fetches += 1
+        self.log.records_bytes_proxy += max(entries, 1)
+        self.log.simulated_seconds += (
+            self.costs.round_trip + entries * self.costs.per_edge
+        )
+        shard = self.shards.shard_of(v)
+        self.log.per_shard[shard] = self.log.per_shard.get(shard, 0) + 1
+
+    def prefetch(self, vertices: List[VertexId]) -> int:
+        """Batch-fetch records not yet cached; returns how many shipped.
+
+        One ``multi_get`` RPC per :data:`BATCH_SIZE` records.  Each record
+        is charged to the :class:`FetchLog` as a fetch, but a batch shares
+        one modeled round-trip — the batching discount the benchmark
+        measures against per-record fetching.
+        """
+        missing = [v for v in vertices if v not in self._cache]
+        shipped = 0
+        for i in range(0, len(missing), BATCH_SIZE):
+            chunk = missing[i : i + BATCH_SIZE]
+            reply = self._rpc.call("multi_get", {"vs": chunk})
+            batch_entries = 0
+            for v in chunk:
+                record = decode_record(reply.get(str(v)))
+                if record is None:
+                    record = VertexRecord()
+                self.log.fetches += 1
+                entries = sum(len(vers) for vers in record.edges.values())
+                self.log.records_bytes_proxy += max(entries, 1)
+                batch_entries += entries
+                shard = self.shards.shard_of(v)
+                self.log.per_shard[shard] = self.log.per_shard.get(shard, 0) + 1
+                self._cache[v] = record
+                shipped += 1
+            self.log.simulated_seconds += (
+                self.costs.round_trip + batch_entries * self.costs.per_edge
+            )
+        return shipped
+
+    def drop_cache(self) -> None:
+        """Simulate a worker restart: soft state vanishes."""
+        self._cache.clear()
+
+    def _invalidate(self, *vertices: VertexId) -> None:
+        for v in vertices:
+            self._cache.pop(v, None)
+
+    # -- write path (RPCs tagged for exactly-once retries) -----------------
+
+    def _write(self, op: str, args: dict) -> None:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        result = self._rpc.call(op, args, session=self._session, seq=seq)
+        with self._lock:
+            self._latest = max(self._latest, decode_timestamp(result["latest_ts"]))
+            self._updated_memo = None
+
+    def add_edge(
+        self,
+        u: VertexId,
+        v: VertexId,
+        ts: Timestamp,
+        label: Label = None,
+        direction: Optional[str] = None,
+    ) -> None:
+        self._write(
+            "add_edge",
+            {"u": u, "v": v, "ts": ts, "label": label, "direction": direction},
+        )
+        self._invalidate(u, v)
+
+    def delete_edge(self, u: VertexId, v: VertexId, ts: Timestamp) -> None:
+        self._write("delete_edge", {"u": u, "v": v, "ts": ts})
+        self._invalidate(u, v)
+
+    def set_vertex_label(self, v: VertexId, ts: Timestamp, label: Label) -> None:
+        self._write("set_vertex_label", {"v": v, "ts": ts, "label": label})
+        self._invalidate(v)
+
+    def ensure_vertex(self, v: VertexId) -> None:
+        self._write("ensure_vertex", {"v": v})
+
+    # -- read path (computed from fetched records) -------------------------
+
+    def neighbor_states_at(
+        self, v: VertexId, ts: Timestamp
+    ) -> Dict[VertexId, Tuple[bool, bool]]:
+        record = self._fetch(v)
+        out: Dict[VertexId, Tuple[bool, bool]] = {}
+        pre_ts = ts - 1
+        for dst, versions in record.edges.items():
+            pre = any(iv.alive_at(pre_ts) for iv in versions)
+            post = any(iv.alive_at(ts) for iv in versions)
+            if pre or post:
+                out[dst] = (pre, post)
+        return out
+
+    def neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        return sorted(
+            dst
+            for dst, versions in self._fetch(v).edges.items()
+            if any(iv.alive_at(ts) for iv in versions)
+        )
+
+    def union_neighbors_at(self, v: VertexId, ts: Timestamp) -> List[VertexId]:
+        return sorted(self.neighbor_states_at(v, ts))
+
+    def edge_alive_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        return any(iv.alive_at(ts) for iv in self._fetch(u).edges.get(v, ()))
+
+    def edge_updated_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> bool:
+        return any(iv.updated_at(ts) for iv in self._fetch(u).edges.get(v, ()))
+
+    def edge_label_at(self, u: VertexId, v: VertexId, ts: Timestamp) -> Label:
+        for iv in self._fetch(u).edges.get(v, ()):
+            if iv.alive_at(ts):
+                return iv.label
+        return None
+
+    def edge_direction_at(
+        self, u: VertexId, v: VertexId, ts: Timestamp
+    ) -> Optional[str]:
+        for iv in self._fetch(u).edges.get(v, ()):
+            if iv.alive_at(ts):
+                return iv.direction
+        return None
+
+    def vertex_label_at(self, v: VertexId, ts: Timestamp) -> Label:
+        return self._fetch(v).label_at(ts)
+
+    def has_vertex(self, v: VertexId) -> bool:
+        return bool(self._rpc.call("has_vertex", {"v": v}))
+
+    def num_vertices(self) -> int:
+        return int(self._rpc.call("num_vertices", {}))
+
+    def vertices(self) -> Iterator[VertexId]:
+        return iter(self._rpc.call("list_vertices", {}))
+
+    @property
+    def latest_timestamp(self) -> Timestamp:
+        # tracked client-side: seeded by hello, advanced by write responses
+        return self._latest
+
+    def updated_keys_in(self, ts: Timestamp) -> Dict[EdgeKey, bool]:
+        with self._lock:
+            memo = self._updated_memo
+        if memo is not None and memo[0] == ts:
+            return memo[1]
+        keys = decode_updated_keys(self._rpc.call("updated_keys_in", {"ts": ts}))
+        with self._lock:
+            self._updated_memo = (ts, keys)
+        return keys
+
+    # -- record transfer ---------------------------------------------------
+
+    def get_record(self, v: VertexId):
+        return decode_record(self._rpc.call("get_record", {"v": v}))
+
+    def iter_records(self) -> Iterator[Tuple[VertexId, VertexRecord]]:
+        vs = self._rpc.call("list_vertices", {})
+        for i in range(0, len(vs), BATCH_SIZE):
+            chunk = vs[i : i + BATCH_SIZE]
+            reply = self._rpc.call("multi_get", {"vs": chunk})
+            for v in chunk:
+                record = decode_record(reply.get(str(v)))
+                if record is not None:
+                    yield v, record
+
+    def put_record(self, v: VertexId, record) -> None:
+        self._write("put_record", {"v": v, "record": encode_record(record)})
+        self._invalidate(v)
+
+    def set_latest_timestamp(self, ts: Timestamp) -> None:
+        self._write("set_latest_ts", {"ts": ts})
+        with self._lock:
+            self._latest = ts
+
+    # -- maintenance -------------------------------------------------------
+
+    def reclaim(self, horizon: Timestamp) -> ReclaimStats:
+        """GC the server store; cached copies may hold reclaimed versions,
+        so the client cache is dropped wholesale (as in the simulated
+        client)."""
+        stats = decode_reclaim_stats(self._rpc.call("reclaim", {"horizon": horizon}))
+        self.drop_cache()
+        with self._lock:
+            self._updated_memo = None
+        return stats
+
+    def window_completed(self, ts: Timestamp) -> None:
+        result = self._rpc.call("window_completed", {"ts": ts})
+        with self._lock:
+            self._latest = max(self._latest, decode_timestamp(result["latest_ts"]))
+
+    def store_stats(self) -> Dict[str, object]:
+        stats: Dict[str, object] = dict(self._rpc.call("store_stats", {}))
+        stats["kind"] = self.kind
+        stats["fetches"] = self.log.fetches
+        stats["fetch_bytes_proxy"] = self.log.records_bytes_proxy
+        stats["fetch_simulated_seconds"] = self.log.simulated_seconds
+        stats["client_cache_entries"] = len(self._cache)
+        net = self.net_log
+        stats["net_rpcs"] = net.rpcs
+        stats["net_retries"] = net.retries
+        stats["net_deadline_hits"] = net.deadline_hits
+        stats["net_bytes_sent"] = net.bytes_sent
+        stats["net_bytes_received"] = net.bytes_received
+        return stats
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop connections; shut the embedded server down if we own one."""
+        self._rpc.close()
+        if self._server is not None:
+            self._server.close()
+
+    def __reduce__(self):
+        # workers get a fresh client to the same server: sockets and the
+        # embedded server (if any) stay with the parent process
+        return (
+            _reconnect,
+            (
+                self.address,
+                self.costs,
+                self.cache_capacity,
+                self._rpc.deadline,
+                self._rpc.retry,
+                self._rpc.pool_size,
+            ),
+        )
+
+
+def _reconnect(
+    address: Tuple[str, int],
+    costs: FetchCosts,
+    cache_capacity: Optional[int],
+    deadline: float,
+    retry: RetryPolicy,
+    pool_size: int,
+) -> NetStoreClient:
+    return NetStoreClient(
+        address,
+        costs=costs,
+        cache_capacity=cache_capacity,
+        deadline=deadline,
+        retry=retry,
+        pool_size=pool_size,
+    )

@@ -1,0 +1,140 @@
+"""The network layer's structured error taxonomy.
+
+Kudu-style comms discipline starts with being precise about *what failed*:
+a fault of the **transport** (the bytes never made it, or stopped making
+it) is retryable because the request may simply be resent, while a fault
+of the **application** (the server executed the request and said no) is
+not — resending would re-execute a rejected operation.  Everything the
+:mod:`repro.net` stack raises falls into exactly one of these families:
+
+``TransportError``
+    The connection failed before a complete response arrived: refused or
+    reset connections, sockets closed mid-frame
+    (:class:`TruncatedFrameError`), and per-call deadlines
+    (:class:`DeadlineExceeded`).  The RPC core retries these with jittered
+    exponential backoff, bounded by the call deadline and the retry
+    policy's attempt budget (:class:`RetriesExhausted` wraps the final
+    failure).
+
+``ProtocolError``
+    The bytes arrived but do not speak our protocol: a bad frame magic,
+    an unknown frame type, a protocol-version mismatch, an oversized
+    frame, or an undecodable payload.  Never retried — the peer is
+    confused, not unlucky.
+
+``ApplicationError``
+    The server executed the request and raised.  Carries the remote
+    exception's type name and message; :func:`raise_application_error`
+    re-raises well-known library exceptions (``InvalidUpdateError`` et
+    al.) as their local types so callers keep their existing ``except``
+    clauses across the wire.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TesseractError
+
+
+class NetError(TesseractError):
+    """Base class for every failure raised by the network layer."""
+
+
+class TransportError(NetError):
+    """The transport failed before a complete response arrived (retryable)."""
+
+
+class ConnectError(TransportError):
+    """A TCP connection to the peer could not be established."""
+
+
+class ConnectionLostError(TransportError):
+    """The peer closed or reset the connection mid-exchange."""
+
+
+class TruncatedFrameError(TransportError):
+    """The stream ended in the middle of a frame header or payload."""
+
+
+class DeadlineExceeded(TransportError):
+    """The per-call deadline expired before a response arrived."""
+
+
+class RetriesExhausted(TransportError):
+    """Every retry attempt failed; wraps the last transport fault."""
+
+    def __init__(self, attempts: int, last: TransportError) -> None:
+        super().__init__(
+            f"RPC failed after {attempts} attempt(s): {last}"
+        )
+        self.attempts = attempts
+        self.last = last
+
+
+class ProtocolError(NetError):
+    """The peer sent bytes that violate the framing protocol (fatal)."""
+
+
+class BadMagicError(ProtocolError):
+    """A frame did not start with the protocol magic bytes."""
+
+
+class VersionMismatchError(ProtocolError):
+    """A frame carried an unsupported protocol version."""
+
+    def __init__(self, got: int, expected: int) -> None:
+        super().__init__(
+            f"protocol version mismatch: peer speaks {got}, we speak {expected}"
+        )
+        self.got = got
+        self.expected = expected
+
+
+class UnknownMessageTypeError(ProtocolError):
+    """A frame carried a message type this endpoint does not know."""
+
+    def __init__(self, msg_type: int) -> None:
+        super().__init__(f"unknown frame message type {msg_type}")
+        self.msg_type = msg_type
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a payload larger than the protocol maximum."""
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(f"frame payload of {size} bytes exceeds limit {limit}")
+        self.size = size
+        self.limit = limit
+
+
+class ApplicationError(NetError):
+    """The server executed the request and raised (never retried)."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+def raise_application_error(remote_type: str, message: str) -> None:
+    """Re-raise a remote fault, mapped back to a local exception type.
+
+    Exceptions from :mod:`repro.errors` cross the wire by class name; any
+    name we cannot map stays a generic :class:`ApplicationError` (still an
+    application-family fault, so it is never retried).
+    """
+    import repro.errors as _errors
+
+    cls = getattr(_errors, remote_type, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, TesseractError)
+        and cls is not TesseractError
+    ):
+        try:
+            exc = cls(message)
+        except TypeError:
+            # constructor wants structured arguments we did not ship
+            exc = None
+        if exc is not None:
+            raise exc
+    raise ApplicationError(remote_type, message)

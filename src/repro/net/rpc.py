@@ -1,0 +1,305 @@
+"""The request/response RPC core: deadlines, retries, connection pooling.
+
+One :class:`RpcClient` owns a small pool of TCP connections to one server
+and exposes a single blocking :meth:`RpcClient.call`.  The discipline —
+what distributed engines get right long before they get fast — lives
+here, in one place:
+
+* **Per-call deadlines.**  Every attempt gets a wall budget; socket
+  timeouts are derived from the remaining budget, and an expired budget
+  raises :class:`~repro.net.errors.DeadlineExceeded` (a transport fault).
+* **Bounded retries with jittered exponential backoff.**  Only transport
+  faults retry; application and protocol faults never do.  Backoff delay
+  doubles per attempt up to a cap, with symmetric multiplicative jitter
+  drawn from an **injectable seeded RNG** — determinism (repro-lint
+  RL001) forbids the process-global ``random`` state, and tests inject a
+  fake clock/sleep to assert the schedule exactly.
+* **Duplicate-tolerant matching.**  Requests carry a client-unique id;
+  responses echo it.  The receive loop discards frames whose id does not
+  match the outstanding request, so duplicated or delayed responses from
+  an earlier attempt can never be mistaken for the current one.
+* **Exactly-once writes.**  Non-idempotent requests carry a ``(session,
+  seq)`` pair the server deduplicates on (see
+  :class:`~repro.net.server.StoreServer`), making a retried write safe
+  even when the first attempt *did* apply and only its response was lost.
+
+The pool is fork-aware: a connection checked out after the process id
+changed is discarded and redialed, so a forked worker never shares a
+socket with its parent.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.errors import (
+    ApplicationError,
+    ConnectError,
+    ConnectionLostError,
+    DeadlineExceeded,
+    ProtocolError,
+    RetriesExhausted,
+    TransportError,
+    raise_application_error,
+)
+from repro.net.frames import (
+    MAX_PAYLOAD,
+    MessageType,
+    encode_frame,
+    read_frame,
+)
+from repro.net.wire import decode_payload, encode_payload
+
+#: default per-attempt deadline (seconds)
+DEFAULT_DEADLINE = 5.0
+
+#: ceiling on buffered RPC latency samples (bridged into a histogram)
+LATENCY_SAMPLE_CAP = 4096
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped, jittered exponential backoff."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    #: symmetric multiplicative jitter fraction (0 disables jitter)
+    jitter: float = 0.5
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(raw, 0.0)
+
+
+@dataclass
+class NetLog:
+    """Wire-level accounting for one RPC client.
+
+    ``rpcs`` counts request frames actually sent (so a retried call counts
+    each attempt); ``latencies_s`` keeps up to :data:`LATENCY_SAMPLE_CAP`
+    per-call round-trip times for the ``repro_net_rpc_seconds`` histogram.
+    """
+
+    rpcs: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    per_op: Dict[str, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+
+    def observe_latency(self, seconds: float) -> None:
+        if len(self.latencies_s) < LATENCY_SAMPLE_CAP:
+            self.latencies_s.append(seconds)
+
+
+class _Connection:
+    """One framed TCP connection (send/receive whole frames)."""
+
+    def __init__(self, sock: socket.socket, max_payload: int) -> None:
+        self.sock = sock
+        self.max_payload = max_payload
+
+    def send(self, frame: bytes) -> None:
+        try:
+            self.sock.sendall(frame)
+        except (TimeoutError, socket.timeout):
+            raise DeadlineExceeded("send timed out") from None
+        except OSError as exc:
+            raise ConnectionLostError(f"send failed: {exc}") from None
+
+    def recv_frame(self, timeout: Optional[float]) -> Tuple[MessageType, bytes]:
+        try:
+            self.sock.settimeout(timeout)
+            return read_frame(self.sock.recv, max_payload=self.max_payload)
+        except (TimeoutError, socket.timeout):
+            raise DeadlineExceeded("no response before the deadline") from None
+        except TransportError:
+            raise
+        except OSError as exc:
+            raise ConnectionLostError(f"receive failed: {exc}") from None
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+
+class RpcClient:
+    """Pooled, deadline- and retry-disciplined RPC caller.
+
+    ``clock``/``sleep``/``rng`` are injectable for deterministic tests;
+    production uses the monotonic clock, real sleep, and a seeded
+    :class:`random.Random` (never the process-global RNG).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        deadline: float = DEFAULT_DEADLINE,
+        retry: Optional[RetryPolicy] = None,
+        pool_size: int = 2,
+        max_payload: int = MAX_PAYLOAD,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be positive")
+        self.host = host
+        self.port = port
+        self.deadline = deadline
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.pool_size = pool_size
+        self.max_payload = max_payload
+        self.log = NetLog()
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random(0x7E55E7AC)
+        self._lock = threading.Lock()
+        self._idle: List[_Connection] = []
+        self._next_id = 0
+        self._pid = os.getpid()
+        self._closed = False
+
+    # -- pool --------------------------------------------------------------
+
+    def _checkout(self, timeout: float) -> _Connection:
+        with self._lock:
+            if os.getpid() != self._pid:
+                # forked child: parent's sockets must not be shared
+                self._idle.clear()
+                self._pid = os.getpid()
+            if self._idle:
+                return self._idle.pop()
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=max(timeout, 1e-3)
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ConnectError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from None
+        return _Connection(sock, self.max_payload)
+
+    def _checkin(self, conn: _Connection) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+    # -- the call path -----------------------------------------------------
+
+    def call(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        deadline: Optional[float] = None,
+        session: Optional[int] = None,
+        seq: Optional[int] = None,
+    ) -> Any:
+        """Invoke ``op`` on the server and return its decoded result.
+
+        Transport faults retry per the policy (each attempt with a fresh
+        deadline); application and protocol faults propagate immediately.
+        ``session``/``seq`` tag a non-idempotent write for server-side
+        deduplication, which is what makes its retries exactly-once.
+        """
+        budget = self.deadline if deadline is None else deadline
+        attempts = max(1, self.retry.max_attempts)
+        last: Optional[TransportError] = None
+        for attempt in range(attempts):
+            if attempt:
+                with self._lock:
+                    self.log.retries += 1
+                self._sleep(self.retry.backoff(attempt - 1, self._rng))
+            try:
+                return self._attempt(op, args, budget, session, seq)
+            except DeadlineExceeded as exc:
+                with self._lock:
+                    self.log.deadline_hits += 1
+                last = exc
+            except TransportError as exc:
+                last = exc
+        assert last is not None
+        raise RetriesExhausted(attempts, last)
+
+    def _attempt(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]],
+        budget: float,
+        session: Optional[int],
+        seq: Optional[int],
+    ) -> Any:
+        start = self._clock()
+        deadline_at = start + budget
+        conn = self._checkout(budget)
+        healthy = False
+        try:
+            with self._lock:
+                self._next_id += 1
+                req_id = self._next_id
+                self.log.rpcs += 1
+                self.log.per_op[op] = self.log.per_op.get(op, 0) + 1
+            message: Dict[str, Any] = {"id": req_id, "op": op, "args": args or {}}
+            if seq is not None:
+                message["session"] = session
+                message["seq"] = seq
+            frame = encode_frame(MessageType.REQUEST, encode_payload(message))
+            conn.send(frame)
+            with self._lock:
+                self.log.bytes_sent += len(frame)
+            while True:
+                remaining = deadline_at - self._clock()
+                if remaining <= 0:
+                    raise DeadlineExceeded(f"{op}: deadline of {budget}s expired")
+                msg_type, payload = conn.recv_frame(remaining)
+                with self._lock:
+                    self.log.bytes_received += len(payload)
+                reply = decode_payload(payload)
+                if reply.get("id") != req_id:
+                    # stale duplicate from an earlier attempt: discard
+                    continue
+                if msg_type is MessageType.ERROR:
+                    healthy = True  # server survives its own app errors
+                    error = reply.get("error") or {}
+                    raise_application_error(
+                        str(error.get("type", "ApplicationError")),
+                        str(error.get("message", "")),
+                    )
+                if msg_type is MessageType.RESPONSE:
+                    healthy = True
+                    with self._lock:
+                        self.log.observe_latency(self._clock() - start)
+                    return reply.get("result")
+                raise ProtocolError(f"unexpected {msg_type.name} frame from server")
+        finally:
+            if healthy:
+                self._checkin(conn)
+            else:
+                conn.close()

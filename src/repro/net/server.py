@@ -1,0 +1,309 @@
+"""``StoreServer``: any :class:`~repro.store.api.GraphStore` on a TCP port.
+
+The server is a thin dispatch shell: one listening socket, one thread per
+connection, one operation table mapping wire ``op`` names onto the public
+store protocol (it deliberately touches nothing store-private, so every
+store kind — mv, sharded, even another client — serves identically).
+All store access is serialized under one lock; at reproduction scale the
+store is CPU-light and the GIL would serialize it anyway, and one lock
+keeps the write path's non-decreasing-timestamp invariant trivially safe
+under concurrent clients.
+
+Exactly-once writes
+    Writes are not idempotent (re-adding a live edge is an
+    ``InvalidUpdateError``), yet the client retries on transport faults —
+    including the case where the write *applied* and only the response
+    was lost.  The server therefore deduplicates: each client obtains a
+    ``session`` id via the ``hello`` op and tags every write with a
+    monotonically increasing ``seq``; the server remembers the last
+    :data:`DEDUP_WINDOW` results per session and replays the remembered
+    result for a repeated ``(session, seq)`` instead of re-executing.
+
+Failures the handler can classify are returned as ``ERROR`` frames
+carrying the exception's type name and message (the client maps names
+back to local exception types); anything else tears down the connection,
+which the client surfaces as a transport fault and retries elsewhere.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TesseractError
+from repro.net.errors import NetError, ProtocolError, TruncatedFrameError
+from repro.net.frames import (
+    MAX_PAYLOAD,
+    MessageType,
+    encode_frame,
+    read_frame,
+)
+from repro.net.wire import (
+    decode_payload,
+    encode_payload,
+    encode_reclaim_stats,
+    encode_record,
+    encode_updated_keys,
+)
+from repro.store.api import GraphStore
+
+#: write results remembered per session for retry deduplication
+DEDUP_WINDOW = 64
+
+#: most records one multi_get may request
+MAX_BATCH = 1024
+
+
+class StoreServer:
+    """Serve a :class:`GraphStore` over framed RPC on a TCP socket.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  :meth:`start` serves from a background thread (the
+    embedded-store mode the ``net`` store kind uses), :meth:`serve_forever`
+    serves from the calling thread (the ``repro serve-store`` CLI mode).
+    """
+
+    def __init__(
+        self,
+        store: GraphStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_payload: int = MAX_PAYLOAD,
+        max_batch: int = MAX_BATCH,
+    ) -> None:
+        self.store = store
+        self.max_payload = max_payload
+        self.max_batch = max_batch
+        self._lock = threading.RLock()  # re-entrant: ops run under dispatch
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._next_session = 0
+        # session id -> {seq: result}, insertion-ordered for pruning
+        self._applied: Dict[int, Dict[int, Any]] = {}
+        self._closed = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(32)
+        self._ops = self._build_ops()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        return self._sock.getsockname()[:2]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "StoreServer":
+        """Accept connections from a daemon thread; returns self."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-store-server", daemon=True
+        )
+        with self._lock:
+            self._threads.append(thread)
+        thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept-and-dispatch loop; returns when :meth:`close` is called."""
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listening socket closed by close()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._conns.append(conn)
+                self._threads.append(handler)
+            handler.start()
+
+    def close(self) -> None:
+        """Stop accepting, sever live connections, release the port."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns, self._conns = self._conns, []
+        self._sock.close()  # unblocks accept()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    # -- per-connection loop -----------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    msg_type, payload = read_frame(
+                        conn.recv, max_payload=self.max_payload
+                    )
+                    if msg_type is not MessageType.REQUEST:
+                        raise ProtocolError(
+                            f"client sent a {msg_type.name} frame"
+                        )
+                    request = decode_payload(payload)
+                except TruncatedFrameError:
+                    return  # peer went away (cleanly or not); nothing to answer
+                except ProtocolError as exc:
+                    self._send_error(conn, None, exc)
+                    return  # framing is unrecoverable mid-stream
+                self._send(conn, *self._dispatch(request))
+        except OSError:
+            pass  # connection reset while replying; client will retry
+        finally:
+            conn.close()
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    def _dispatch(self, request: Dict[str, Any]) -> Tuple[MessageType, dict]:
+        req_id = request.get("id")
+        op = request.get("op")
+        handler = self._ops.get(op)
+        if handler is None:
+            return self._error(req_id, "UnknownOperationError", f"unknown op {op!r}")
+        args = request.get("args") or {}
+        session = request.get("session")
+        seq = request.get("seq")
+        try:
+            with self._lock:
+                if seq is not None and session is not None:
+                    applied = self._applied.setdefault(session, {})
+                    if seq in applied:
+                        result = applied[seq]  # retried write: replay result
+                    else:
+                        result = handler(args)
+                        applied[seq] = result
+                        while len(applied) > DEDUP_WINDOW:
+                            applied.pop(next(iter(applied)))
+                else:
+                    result = handler(args)
+        except (TesseractError, KeyError, ValueError, TypeError) as exc:
+            return self._error(req_id, type(exc).__name__, str(exc))
+        return MessageType.RESPONSE, {"id": req_id, "result": result}
+
+    def _error(
+        self, req_id: Any, remote_type: str, message: str
+    ) -> Tuple[MessageType, dict]:
+        return MessageType.ERROR, {
+            "id": req_id,
+            "error": {"type": remote_type, "message": message},
+        }
+
+    def _send(self, conn: socket.socket, msg_type: MessageType, body: dict) -> None:
+        conn.sendall(encode_frame(msg_type, encode_payload(body)))
+
+    def _send_error(self, conn: socket.socket, req_id: Any, exc: NetError) -> None:
+        try:
+            self._send(conn, *self._error(req_id, type(exc).__name__, str(exc)))
+        except OSError:
+            pass
+
+    # -- the operation table -----------------------------------------------
+
+    def _build_ops(self) -> Dict[str, Callable[[dict], Any]]:
+        store = self.store
+        ops: Dict[str, Callable[[dict], Any]] = {
+            "ping": lambda a: {},
+            "hello": self._op_hello,
+            # record transfer (the fetch boundary)
+            "get_record": lambda a: encode_record(store.get_record(a["v"])),
+            "multi_get": self._op_multi_get,
+            "put_record": self._write(
+                lambda a: store.put_record(
+                    a["v"], _require_record(a["record"])
+                )
+            ),
+            "list_vertices": lambda a: sorted(store.vertices()),
+            "has_vertex": lambda a: store.has_vertex(a["v"]),
+            "num_vertices": lambda a: store.num_vertices(),
+            "vertex_label_at": lambda a: store.vertex_label_at(a["v"], a["ts"]),
+            "latest_ts": lambda a: store.latest_timestamp,
+            "updated_keys_in": lambda a: encode_updated_keys(
+                store.updated_keys_in(a["ts"])
+            ),
+            # write path (ingress)
+            "add_edge": self._write(
+                lambda a: store.add_edge(
+                    a["u"],
+                    a["v"],
+                    a["ts"],
+                    label=a.get("label"),
+                    direction=a.get("direction"),
+                )
+            ),
+            "delete_edge": self._write(
+                lambda a: store.delete_edge(a["u"], a["v"], a["ts"])
+            ),
+            "set_vertex_label": self._write(
+                lambda a: store.set_vertex_label(a["v"], a["ts"], a.get("label"))
+            ),
+            "ensure_vertex": self._write(lambda a: store.ensure_vertex(a["v"])),
+            "set_latest_ts": self._write(
+                lambda a: store.set_latest_timestamp(a["ts"])
+            ),
+            # maintenance
+            "reclaim": lambda a: encode_reclaim_stats(store.reclaim(a["horizon"])),
+            "window_completed": self._op_window_completed,
+            "store_stats": lambda a: store.store_stats(),
+        }
+        return ops
+
+    def _op_hello(self, args: dict) -> dict:
+        session = args.get("session")
+        if session is None:
+            with self._lock:  # re-entrant under dispatch
+                self._next_session += 1
+                session = self._next_session
+        return {
+            "session": session,
+            "kind": self.store.kind,
+            "num_shards": self.store.shards.num_shards,
+            "latest_ts": self.store.latest_timestamp,
+        }
+
+    def _op_multi_get(self, args: dict) -> Dict[str, Optional[dict]]:
+        vs = args["vs"]
+        if len(vs) > self.max_batch:
+            raise ValueError(
+                f"multi_get batch of {len(vs)} exceeds limit {self.max_batch}"
+            )
+        return {str(v): encode_record(self.store.get_record(v)) for v in vs}
+
+    def _op_window_completed(self, args: dict) -> dict:
+        self.store.window_completed(args["ts"])
+        return {"latest_ts": self.store.latest_timestamp}
+
+    def _write(self, apply: Callable[[dict], None]) -> Callable[[dict], dict]:
+        """Wrap a mutation: apply, then return the server's write clock.
+
+        Every write response carries ``latest_ts`` so the client tracks
+        the store clock without a per-read RPC.
+        """
+
+        def handler(args: dict) -> dict:
+            apply(args)
+            return {"latest_ts": self.store.latest_timestamp}
+
+        return handler
+
+
+def _require_record(data: Optional[dict]):
+    from repro.net.wire import decode_record
+
+    record = decode_record(data)
+    if record is None:
+        raise ValueError("put_record requires a record body")
+    return record

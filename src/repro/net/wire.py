@@ -1,0 +1,149 @@
+"""Message payload encoding: canonical JSON plus record-type codecs.
+
+Frame payloads are UTF-8 **canonical JSON** — keys sorted, separators
+compact — so encoding is deterministic: the same logical message is the
+same bytes on every run, interpreter, and platform (the repo-wide
+byte-identical-output contract extends down to the wire).  JSON keeps the
+payload self-describing and debuggable with nothing but ``tcpdump``; the
+frame header (:mod:`repro.net.frames`) carries the protocol version, so
+payload shape changes bump :data:`~repro.net.frames.PROTOCOL_VERSION`.
+
+Three message shapes travel in frames:
+
+* ``REQUEST``  — ``{"id": n, "op": str, "args": {...}}`` plus optional
+  ``"session"``/``"seq"`` for exactly-once writes;
+* ``RESPONSE`` — ``{"id": n, "result": ...}``;
+* ``ERROR``    — ``{"id": n, "error": {"type": str, "message": str}}``.
+
+The codecs below translate the store's value types to and from JSON-safe
+structures.  The edge-version list format is deliberately the same
+``[added_ts, deleted_ts, label, direction]`` quad the checkpoint file
+format uses (:mod:`repro.store.checkpoint`), so a record reads the same
+on disk and on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.errors import ProtocolError
+from repro.store.api import ReclaimStats
+from repro.store.mvstore import EdgeInterval, VertexRecord
+from repro.types import EdgeKey, EdgeUpdate, Timestamp
+
+
+def encode_payload(message: Dict[str, Any]) -> bytes:
+    """Canonical JSON bytes for one message (deterministic)."""
+    return json.dumps(
+        message, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse a message payload; malformed bytes are a protocol fault."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload is not a JSON object")
+    return message
+
+
+# -- record-map types --------------------------------------------------------
+
+
+def encode_record(record: Optional[VertexRecord]) -> Optional[dict]:
+    """JSON-safe form of a vertex record (None stays None)."""
+    if record is None:
+        return None
+    return {
+        "labels": [[ts, label] for ts, label in record.label_history],
+        "edges": {
+            str(dst): [
+                [iv.added_ts, iv.deleted_ts, iv.label, iv.direction]
+                for iv in versions
+            ]
+            for dst, versions in record.edges.items()
+        },
+    }
+
+
+def decode_record(data: Optional[dict]) -> Optional[VertexRecord]:
+    """Rebuild a vertex record from :func:`encode_record` output.
+
+    The decoded record is a deep private copy: every interval list is
+    freshly built, so callers may cache it without aliasing the server's
+    state.
+    """
+    if data is None:
+        return None
+    return VertexRecord(
+        label_history=[(ts, label) for ts, label in data["labels"]],
+        edges={
+            int(dst): [
+                EdgeInterval(
+                    added_ts=entry[0],
+                    deleted_ts=entry[1],
+                    label=entry[2],
+                    direction=entry[3],
+                )
+                for entry in versions
+            ]
+            for dst, versions in data["edges"].items()
+        },
+    )
+
+
+def encode_edge_update(update: EdgeUpdate) -> list:
+    """JSON-safe form of an :class:`~repro.types.EdgeUpdate`."""
+    return [update.u, update.v, update.added, update.label, update.direction]
+
+
+def decode_edge_update(data: list) -> EdgeUpdate:
+    u, v, added, label, direction = data
+    return EdgeUpdate(u, v, added=added, label=label, direction=direction)
+
+
+def encode_updated_keys(keys: Dict[EdgeKey, bool]) -> List[list]:
+    """Deterministically ordered ``updated_keys_in`` result."""
+    return [[u, v, added] for (u, v), added in sorted(keys.items())]
+
+
+def decode_updated_keys(data: List[list]) -> Dict[EdgeKey, bool]:
+    return {(u, v): added for u, v, added in data}
+
+
+def encode_reclaim_stats(stats: ReclaimStats) -> dict:
+    return {
+        "horizon": stats.horizon,
+        "reclaimed": stats.reclaimed,
+        "per_shard": {str(s): n for s, n in sorted(stats.per_shard.items())},
+        "index_pruned": stats.index_pruned,
+        "cache_invalidated": stats.cache_invalidated,
+    }
+
+
+def decode_reclaim_stats(data: dict) -> ReclaimStats:
+    return ReclaimStats(
+        horizon=data["horizon"],
+        reclaimed=data["reclaimed"],
+        per_shard={int(s): n for s, n in data["per_shard"].items()},
+        index_pruned=data["index_pruned"],
+        cache_invalidated=data["cache_invalidated"],
+    )
+
+
+def decode_timestamp(value: Any) -> Timestamp:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"timestamp field is not an integer: {value!r}")
+    return value
+
+
+def split_address(text: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (the CLI's ``--store-addr`` syntax)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {text!r} is not host:port")
+    return host, int(port)

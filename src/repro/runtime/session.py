@@ -54,9 +54,12 @@ class StreamingSession:
     ``"process"``, ``"simulated"``) or a ready :class:`ExecutionBackend`
     instance (which must share this session's store).  ``store`` is
     likewise either a registry name (``"mv"``, ``"sharded"``,
-    ``"remote"``) or a ready :class:`~repro.store.api.GraphStore`; a
-    named store composes with ``initial_graph``, a store instance does
-    not (the instance already holds its data).
+    ``"remote"``, ``"net"``) or a ready :class:`~repro.store.api.\
+    GraphStore`; a named store composes with ``initial_graph``, a store
+    instance does not (the instance already holds its data).  A named
+    store is *owned* by the session and closed by :meth:`close`;
+    ``store_addr`` points the ``net`` kind at an external
+    ``repro serve-store`` server instead of an embedded loopback one.
     """
 
     def __init__(
@@ -69,6 +72,7 @@ class StreamingSession:
         num_shards: int = 8,
         initial_graph: Optional[AdjacencyGraph] = None,
         store: "str | GraphStore | None" = None,
+        store_addr: Optional[str] = None,
         gc_enabled: bool = False,
         trace_tasks: bool = False,
         spec=None,
@@ -87,13 +91,16 @@ class StreamingSession:
             if initial_graph is not None:
                 raise ValueError("pass either initial_graph or store, not both")
             self.store = store
+            self._owns_store = False
         else:
             self.store = make_store(
                 store if store is not None else "mv",
                 num_shards=num_shards,
                 graph=initial_graph,
                 fetch_costs=fetch_costs,
+                addr=store_addr,
             )
+            self._owns_store = True
         self.queue = WorkQueue(telemetry=self.telemetry)
         self.ingress = IngressNode(
             self.store,
@@ -345,6 +352,8 @@ class StreamingSession:
 
     def close(self) -> None:
         self.backend.close()
+        if self._owns_store:
+            self.store.close()
 
     # -- static execution ------------------------------------------------
 

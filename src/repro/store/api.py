@@ -46,7 +46,7 @@ from repro.store.shard import AccessStats, ShardMap
 from repro.types import EdgeKey, Label, Timestamp, VertexId
 
 #: Names accepted by :func:`make_store` and the CLI ``mine --store`` flag.
-STORE_NAMES = ("mv", "sharded", "remote")
+STORE_NAMES = ("mv", "sharded", "remote", "net")
 
 
 @dataclass
@@ -255,6 +255,13 @@ class GraphStore(abc.ABC):
         may retire read-cache entries for older snapshots.  Default: no-op.
         """
 
+    def close(self) -> None:
+        """Release store-held resources (sockets, embedded servers).
+
+        In-process stores hold none, so the default is a no-op; the
+        ``net`` kind overrides this.  Safe to call more than once.
+        """
+
     def tombstone_count(self) -> int:
         """Number of fully dead edge versions currently retained."""
         count = 0
@@ -285,17 +292,23 @@ def make_store(
     ts: Timestamp = 1,
     fetch_costs=None,
     cache_size: Optional[int] = None,
+    addr: Optional[str] = None,
 ) -> GraphStore:
     """Construct a store by registry name (see :data:`STORE_NAMES`).
 
     ``graph`` bulk-loads an initial snapshot at timestamp ``ts``.  The
     ``remote`` kind wraps a flat in-process store behind a
     :class:`~repro.store.remote.RemoteStoreClient` fetch boundary, with
-    ``fetch_costs`` as its simulated latency model.
+    ``fetch_costs`` as its simulated latency model.  The ``net`` kind
+    reads and writes over real TCP: with ``addr`` (``"host:port"``) it
+    connects to a running ``repro serve-store`` server, without one it
+    spawns an embedded loopback server of its own.
     """
     from repro.store.mvstore import MultiVersionStore
     from repro.store.sharded import ShardedStore
 
+    if addr is not None and kind != "net":
+        raise ValueError(f"addr= only applies to the 'net' store, not {kind!r}")
     kwargs = {"num_shards": num_shards}
     if cache_size is not None:
         kwargs["cache_size"] = cache_size
@@ -303,6 +316,18 @@ def make_store(
         cls = MultiVersionStore
     elif kind == "sharded":
         cls = ShardedStore
+    elif kind == "net":
+        from repro.net.client import NetStoreClient
+        from repro.store.remote import FetchCosts
+
+        return NetStoreClient(
+            addr,
+            costs=fetch_costs if fetch_costs is not None else FetchCosts(),
+            cache_capacity=cache_size,
+            num_shards=num_shards,
+            graph=graph,
+            ts=ts,
+        )
     elif kind == "remote":
         from repro.store.remote import FetchCosts, RemoteStoreClient
 

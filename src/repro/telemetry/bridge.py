@@ -110,3 +110,54 @@ def store_to_registry(registry: "MetricsRegistry", store: "GraphStore") -> None:
         value = stats.get(key)
         if value is not None:
             registry.gauge(f"repro_store_{key}", help_text).set(float(value))
+    net_to_registry(registry, store)
+
+
+#: wire-truth NetLog fields bridged as ``repro_net_*`` gauges.  RPC and
+#: retry counts depend on scheduling and injected faults, so — like the
+#: cache counters above — they are gauges, never determinism-contract
+#: counters.
+NET_GAUGES = (
+    ("rpcs", "RPC request frames sent (each retry attempt counts)"),
+    ("retries", "RPC attempts beyond the first"),
+    ("deadline_hits", "RPC attempts abandoned at the per-call deadline"),
+    ("bytes_sent", "request bytes written to the socket (frames included)"),
+    ("bytes_received", "response payload bytes read from the socket"),
+)
+
+#: RPC round-trip latency buckets: 50µs to ~3s
+NET_LATENCY_BUCKETS = (
+    0.00005,
+    0.0002,
+    0.001,
+    0.005,
+    0.025,
+    0.1,
+    0.5,
+    3.0,
+)
+
+
+def net_to_registry(registry: "MetricsRegistry", store: "GraphStore") -> None:
+    """Project a wire-backed store's :class:`~repro.net.rpc.NetLog`.
+
+    No-op for stores without a ``net_log`` (every in-process kind), so the
+    store bridge can call it unconditionally.  Latency samples become the
+    ``repro_net_rpc_seconds`` histogram; sampling is capped client-side
+    (:data:`~repro.net.rpc.LATENCY_SAMPLE_CAP`), and re-bridging rebuilds
+    the same histogram because the sample list is cumulative.
+    """
+    net_log = getattr(store, "net_log", None)
+    if net_log is None:
+        return
+    for key, help_text in NET_GAUGES:
+        registry.gauge(f"repro_net_{key}", help_text).set(
+            float(getattr(net_log, key))
+        )
+    histogram = registry.histogram(
+        "repro_net_rpc_seconds",
+        "RPC round-trip latency (successful calls, capped sample)",
+        buckets=NET_LATENCY_BUCKETS,
+    )
+    for sample in net_log.latencies_s:
+        histogram.observe(sample)

@@ -1,0 +1,249 @@
+"""The wire-backed store end to end: conformance, accounting, CLI.
+
+The headline invariant — mining over :class:`NetStoreClient` is
+byte-identical to the in-process stores — is enforced by the property
+matrix in ``tests/property/test_store_equivalence.py`` (``net`` is a
+registry kind).  This file covers what the matrix does not: FetchLog
+parity with the simulated client (the accounting satellite), the
+``repro_net_*`` telemetry bridge, fork/reconnect under the process
+backend, and the ``repro serve-store`` CLI loopback path.
+"""
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps import CliqueMining
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import write_edge_list
+from repro.net import NetStoreClient, RetryPolicy
+from repro.net.errors import NetError
+from repro.runtime.session import StreamingSession
+from repro.store.api import make_store
+from repro.store.mvstore import MultiVersionStore
+from repro.store.remote import RemoteStoreClient
+from repro.types import Update
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def fixed_script():
+    """A deterministic add/delete script over a small vertex set."""
+    graph = erdos_renyi(12, 26, seed=7)
+    edges = graph.sorted_edges()
+    script = [(1, key, True) for key in edges[:10]]
+    script += [(2, key, True) for key in edges[10:18]]
+    script += [(3, edges[2], False), (3, edges[5], False)]
+    script += [(4, key, True) for key in edges[18:]]
+    script += [(5, edges[11], False)]
+    return script
+
+
+def apply_script(store, script):
+    for ts, (u, v), added in script:
+        if added:
+            store.add_edge(u, v, ts)
+        else:
+            store.delete_edge(u, v, ts)
+    return store
+
+
+def read_workload(store, script):
+    """A fixed read pattern touching every script vertex at several ts."""
+    vertices = sorted({v for _, key, _ in script for v in key})
+    out = []
+    for ts in (1, 3, 5):
+        for v in vertices:
+            out.append(sorted(store.neighbor_states_at(v, ts).items()))
+            out.append(store.vertex_label_at(v, ts))
+        for u, v in [(0, 1), (2, 3), (4, 5)]:
+            out.append(store.edge_alive_at(u, v, ts))
+    return out
+
+
+class TestFetchAccountingParity:
+    """Satellite: NetStoreClient's FetchLog reconciles with the simulated
+    RemoteStoreClient's, field for field, on an identical workload."""
+
+    def test_fetch_log_fields_match_simulated_client(self):
+        script = fixed_script()
+        remote = apply_script(make_store("remote"), script)
+        net = apply_script(make_store("net"), script)
+        try:
+            assert read_workload(remote, script) == read_workload(net, script)
+            assert net.log.fetches == remote.log.fetches
+            assert net.log.records_bytes_proxy == remote.log.records_bytes_proxy
+            assert net.log.simulated_seconds == pytest.approx(
+                remote.log.simulated_seconds
+            )
+            assert net.log.per_shard == remote.log.per_shard
+        finally:
+            net.close()
+
+    def test_store_stats_keys_superset_of_remote(self):
+        script = fixed_script()
+        remote = apply_script(make_store("remote"), script)
+        net = apply_script(make_store("net"), script)
+        try:
+            read_workload(remote, script)
+            read_workload(net, script)
+            remote_stats = remote.store_stats()
+            net_stats = net.store_stats()
+            assert set(remote_stats) <= set(net_stats)
+            assert net_stats["kind"] == "net"
+            assert net_stats["fetches"] == remote_stats["fetches"]
+            assert net_stats["fetch_bytes_proxy"] == remote_stats["fetch_bytes_proxy"]
+            assert net_stats["net_rpcs"] > 0
+            assert net_stats["net_bytes_sent"] > 0
+            assert net_stats["net_retries"] == 0  # loopback, no faults
+        finally:
+            net.close()
+
+    def test_cache_invalidation_parity_on_writes(self):
+        inner = MultiVersionStore()
+        remote = RemoteStoreClient(inner)
+        net = make_store("net")
+        try:
+            for store in (remote, net):
+                store.add_edge(1, 2, 1)
+                store.neighbor_states_at(1, 1)  # fetch + cache
+                store.add_edge(1, 3, 2)  # invalidates 1's copy
+                store.neighbor_states_at(1, 2)  # re-fetch
+            assert net.log.fetches == remote.log.fetches == 2
+        finally:
+            net.close()
+
+
+class TestTelemetryBridge:
+    def test_net_gauges_and_histogram_present(self):
+        session = StreamingSession(
+            CliqueMining(3, min_size=3), "serial", window_size=4, store="net"
+        )
+        session.submit_many(
+            Update.add_edge(u, v) for u, v in erdos_renyi(10, 20, seed=3).sorted_edges()
+        )
+        session.flush()
+        registry = session.collect_registry()
+        dumped = {f.name: f for f in registry.families()}
+        session.close()
+        assert dumped["repro_net_rpcs"].kind == "gauge"
+        assert dumped["repro_net_rpcs"].labels().value > 0
+        assert dumped["repro_net_bytes_sent"].labels().value > 0
+        assert dumped["repro_net_retries"].labels().value == 0
+        hist = dumped["repro_net_rpc_seconds"].labels()
+        assert hist.count > 0
+
+    def test_counter_totals_identical_to_mv(self):
+        """The cross-backend determinism contract extends across the wire:
+        wire noise lives in gauges, never in counters."""
+
+        def totals(kind):
+            session = StreamingSession(
+                CliqueMining(3, min_size=3), "serial", window_size=4, store=kind
+            )
+            session.submit_many(
+                Update.add_edge(u, v)
+                for u, v in erdos_renyi(10, 20, seed=3).sorted_edges()
+            )
+            session.flush()
+            out = session.collect_registry().counter_totals()
+            session.close()
+            return out
+
+        assert totals("net") == totals("mv")
+
+
+class TestLifecycleAndForking:
+    def test_close_shuts_embedded_server(self):
+        client = make_store("net")
+        client.add_edge(1, 2, 1)
+        addr = client.address
+        client.close()
+        with pytest.raises(NetError):
+            NetStoreClient(
+                addr, deadline=0.2, retry=RetryPolicy(max_attempts=1, base_delay=0.001)
+            )
+
+    def test_pickled_client_reconnects(self):
+        client = make_store("net")
+        client.add_edge(1, 2, 1)
+        clone = pickle.loads(pickle.dumps(client))
+        try:
+            assert clone.neighbors_at(1, 1) == [2]
+            assert clone.latest_timestamp == 1
+            # the clone has its own session and fetch accounting
+            assert clone.log.fetches == 1
+        finally:
+            clone.close()
+            client.close()
+
+    def test_process_backend_forks_and_reconnects(self):
+        """Forked pool workers must redial rather than share the parent's
+        socket; a window wide enough to defeat the inline fallback forces
+        real child processes through the TCP path."""
+        updates = [
+            Update.add_edge(u, v)
+            for u, v in erdos_renyi(14, 34, seed=11).sorted_edges()
+        ]
+        outputs = []
+        for kind in ("mv", "net"):
+            session = StreamingSession(
+                CliqueMining(3, min_size=3),
+                "process",
+                window_size=len(updates),
+                num_workers=2,
+                store=kind,
+            )
+            session.submit_many(updates)
+            session.flush()
+            outputs.append(session.deltas())
+            session.close()
+        assert outputs[0] == outputs[1]
+
+
+class TestServeStoreCli:
+    def test_loopback_smoke(self, tmp_path):
+        """The CI smoke step in miniature: serve-store in the background,
+        mine --store net against it, diff against an mv run."""
+        graph_file = tmp_path / "graph.el"
+        write_edge_list(erdos_renyi(16, 40, seed=5), str(graph_file))
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve-store", "--addr", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            banner = server.stdout.readline()
+            addr = banner.strip().rsplit(" ", 1)[-1]
+
+            def mine(extra):
+                return subprocess.run(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "mine",
+                        "3-C",
+                        "--graph",
+                        str(graph_file),
+                        "--window",
+                        "10",
+                    ]
+                    + extra,
+                    env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+                    capture_output=True,
+                    text=True,
+                    timeout=120,
+                ).stdout
+
+            via_net = mine(["--store", "net", "--store-addr", addr])
+            via_mv = mine(["--store", "mv"])
+            assert via_net == via_mv
+            assert via_net.count("NEW") > 0
+        finally:
+            server.terminate()
+            server.wait(timeout=10)

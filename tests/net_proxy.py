@@ -1,0 +1,159 @@
+"""Fault-injection TCP proxy for network-layer tests.
+
+:class:`FaultProxy` sits between a :class:`~repro.net.client.NetStoreClient`
+and a :class:`~repro.net.server.StoreServer` and injects faults at **frame
+boundaries**: it parses each relayed frame with the real codec, then —
+according to deterministic counter-based rules, no RNG — drops it, delays
+it, or duplicates it.  Frame-boundary faults are the interesting ones:
+a dropped frame exercises the client's deadline + retry machinery, a
+duplicated request exercises the server's exactly-once write dedup, and a
+duplicated response exercises the client's request-id discard loop.
+
+Frames in both directions share one counter, so a rule like
+``drop_every=7`` kills every 7th frame regardless of direction — requests
+and responses both get hit over the course of a run.
+
+Usage::
+
+    server = StoreServer(MultiVersionStore()).start()
+    proxy = FaultProxy(server.address, drop_every=7, dup_every=5).start()
+    client = NetStoreClient(proxy.address, deadline=0.1, ...)
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Tuple
+
+from repro.net.frames import TruncatedFrameError, encode_frame, read_frame
+
+
+class FaultProxy:
+    """A frame-aware relay that drops / delays / duplicates frames.
+
+    ``drop_every=N`` drops every Nth relayed frame; ``dup_every=M`` sends
+    every Mth frame twice; ``delay_every=K`` sleeps ``delay_s`` before
+    forwarding every Kth frame.  All counters are global across both
+    directions and all connections, so fault schedules are reproducible
+    for a serially-issuing client.
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        *,
+        drop_every: int = 0,
+        dup_every: int = 0,
+        delay_every: int = 0,
+        delay_s: float = 0.0,
+    ) -> None:
+        self.upstream = upstream
+        self.drop_every = drop_every
+        self.dup_every = dup_every
+        self.delay_every = delay_every
+        self.delay_s = delay_s
+        self.frames = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        self._lock = threading.Lock()
+        self._conns: List[socket.socket] = []
+        self._closed = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(16)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._sock.getsockname()[:2]
+
+    def start(self) -> "FaultProxy":
+        threading.Thread(
+            target=self._accept_loop, name="fault-proxy", daemon=True
+        ).start()
+        return self
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns, self._conns = self._conns, []
+        self._sock.close()
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    # -- relay machinery ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _ = self._sock.accept()
+            except OSError:
+                return
+            try:
+                server = socket.create_connection(self.upstream)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                if self._closed:
+                    client.close()
+                    server.close()
+                    return
+                self._conns.extend((client, server))
+            for src, dst in ((client, server), (server, client)):
+                threading.Thread(
+                    target=self._pump, args=(src, dst), daemon=True
+                ).start()
+
+    def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    msg_type, payload = read_frame(src.recv)
+                except (TruncatedFrameError, OSError):
+                    return
+                raw = encode_frame(msg_type, payload)
+                with self._lock:
+                    self.frames += 1
+                    n = self.frames
+                if self.drop_every and n % self.drop_every == 0:
+                    with self._lock:
+                        self.dropped += 1
+                    continue
+                if self.delay_every and n % self.delay_every == 0:
+                    with self._lock:
+                        self.delayed += 1
+                    time.sleep(self.delay_s)
+                copies = (
+                    2 if self.dup_every and n % self.dup_every == 0 else 1
+                )
+                if copies == 2:
+                    with self._lock:
+                        self.duplicated += 1
+                try:
+                    for _ in range(copies):
+                        dst.sendall(raw)
+                except OSError:
+                    return
+        finally:
+            # one side died: sever the other so its pump unblocks too
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                sock.close()
+
+    def fault_counts(self) -> Tuple[int, int, int]:
+        """(dropped, duplicated, delayed) so far."""
+        with self._lock:
+            return self.dropped, self.duplicated, self.delayed

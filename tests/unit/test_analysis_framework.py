@@ -59,6 +59,7 @@ class TestConfig:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         ]
 
     def test_unknown_rule_id_is_an_error(self):
@@ -95,6 +96,7 @@ class TestConfig:
             "RL004",
             "RL005",
             "RL006",
+            "RL007",
         )
 
 

@@ -1,4 +1,4 @@
-"""Fixture-verified true positives and true negatives for RL001-RL006.
+"""Fixture-verified true positives and true negatives for RL001-RL007.
 
 Each rule gets at least one snippet it MUST flag and one it MUST NOT.
 Snippets are linted through :func:`repro.analysis.lint_source` with
@@ -413,6 +413,63 @@ class TestStoreEncapsulationRL006:
                     self._buffer.append(item)
         """
         assert rules_hit(src, path="src/repro/dataflow/_fixture.py") == []
+
+
+class TestNetEncapsulationRL007:
+    def test_flags_socket_import_outside_net(self):
+        src = """
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+        """
+        assert rules_hit(src, path="src/repro/runtime/_fixture.py") == ["RL007"]
+
+    def test_flags_from_socket_import(self):
+        src = """
+            from socket import create_connection
+
+            def dial(host, port):
+                return create_connection((host, port))
+        """
+        assert rules_hit(src, path="src/repro/streaming/_fixture.py") == [
+            "RL007"
+        ]
+
+    def test_flags_selectors_import(self):
+        src = """
+            import selectors
+
+            def make_selector():
+                return selectors.DefaultSelector()
+        """
+        assert rules_hit(src, path="src/repro/dataflow/_fixture.py") == ["RL007"]
+
+    def test_net_modules_are_exempt(self):
+        src = """
+            import socket
+            import selectors
+
+            def serve(sock):
+                return selectors.DefaultSelector()
+        """
+        assert rules_hit(src, path="src/repro/net/_fixture.py") == []
+
+    def test_rpc_layer_access_passes(self):
+        src = """
+            from repro.net import NetStoreClient, RpcClient
+
+            def connect(addr):
+                return NetStoreClient(addr)
+        """
+        assert rules_hit(src, path="src/repro/runtime/_fixture.py") == []
+
+    def test_unrelated_socket_like_names_pass(self):
+        src = """
+            def socket_path(base):
+                return base + "/control.socket"
+        """
+        assert rules_hit(src, path="src/repro/util/_fixture.py") == []
 
 
 class TestSyntaxErrors:

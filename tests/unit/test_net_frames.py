@@ -1,0 +1,191 @@
+"""Frame codec edge cases: the wire protocol's contract at the byte level.
+
+Covers the satellite checklist explicitly: zero-length payloads, max-size
+frames, truncated reads mid-header and mid-payload, unknown message
+types, and protocol-version mismatches — plus the canonical-JSON payload
+codecs the frames carry.
+"""
+
+import struct
+
+import pytest
+
+from repro.net.errors import (
+    BadMagicError,
+    FrameTooLargeError,
+    ProtocolError,
+    TruncatedFrameError,
+    UnknownMessageTypeError,
+    VersionMismatchError,
+)
+from repro.net.frames import (
+    HEADER_SIZE,
+    MAGIC,
+    PROTOCOL_VERSION,
+    MessageType,
+    decode_header,
+    encode_frame,
+    read_frame,
+)
+from repro.net.wire import (
+    decode_payload,
+    decode_record,
+    decode_updated_keys,
+    encode_payload,
+    encode_record,
+    encode_updated_keys,
+    split_address,
+)
+from repro.store.mvstore import MultiVersionStore
+
+
+def reader(data, chunk=None):
+    """A recv-like callable over a byte string, optionally dribbling."""
+    view = memoryview(bytes(data))
+    state = {"pos": 0}
+
+    def read(n):
+        if chunk is not None:
+            n = min(n, chunk)
+        pos = state["pos"]
+        out = view[pos : pos + n].tobytes()
+        state["pos"] = pos + len(out)
+        return out
+
+    return read
+
+
+class TestFrameRoundTrip:
+    def test_round_trip(self):
+        frame = encode_frame(MessageType.REQUEST, b'{"id":1}')
+        msg_type, payload = read_frame(reader(frame))
+        assert msg_type is MessageType.REQUEST
+        assert payload == b'{"id":1}'
+
+    def test_zero_length_payload(self):
+        frame = encode_frame(MessageType.RESPONSE, b"")
+        assert len(frame) == HEADER_SIZE
+        msg_type, payload = read_frame(reader(frame))
+        assert msg_type is MessageType.RESPONSE
+        assert payload == b""
+
+    def test_max_size_frame(self):
+        limit = 1 << 16
+        payload = b"x" * limit
+        frame = encode_frame(MessageType.REQUEST, payload, max_payload=limit)
+        got_type, got = read_frame(reader(frame, chunk=8192), max_payload=limit)
+        assert got == payload
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(FrameTooLargeError) as err:
+            encode_frame(MessageType.REQUEST, b"x" * 17, max_payload=16)
+        assert err.value.size == 17
+        assert err.value.limit == 16
+
+    def test_oversized_length_rejected_on_decode(self):
+        frame = encode_frame(MessageType.REQUEST, b"x" * 64)
+        with pytest.raises(FrameTooLargeError):
+            read_frame(reader(frame), max_payload=32)
+
+    def test_dribbling_reader_reassembles(self):
+        frame = encode_frame(MessageType.ERROR, b"0123456789" * 5)
+        msg_type, payload = read_frame(reader(frame, chunk=3))
+        assert msg_type is MessageType.ERROR
+        assert payload == b"0123456789" * 5
+
+
+class TestFrameFaults:
+    def test_truncated_mid_header(self):
+        frame = encode_frame(MessageType.REQUEST, b"abc")
+        with pytest.raises(TruncatedFrameError) as err:
+            read_frame(reader(frame[: HEADER_SIZE - 2]))
+        assert not err.value.clean_eof
+
+    def test_truncated_mid_payload(self):
+        frame = encode_frame(MessageType.REQUEST, b"abcdef")
+        with pytest.raises(TruncatedFrameError) as err:
+            read_frame(reader(frame[:-3]))
+        assert not err.value.clean_eof
+
+    def test_eof_before_any_bytes_is_clean(self):
+        with pytest.raises(TruncatedFrameError) as err:
+            read_frame(reader(b""))
+        assert err.value.clean_eof
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(MessageType.REQUEST, b""))
+        frame[0:2] = b"XX"
+        with pytest.raises(BadMagicError):
+            read_frame(reader(frame))
+
+    def test_version_mismatch(self):
+        frame = encode_frame(MessageType.REQUEST, b"", version=PROTOCOL_VERSION + 1)
+        with pytest.raises(VersionMismatchError) as err:
+            read_frame(reader(frame))
+        assert err.value.got == PROTOCOL_VERSION + 1
+        assert err.value.expected == PROTOCOL_VERSION
+
+    def test_unknown_message_type(self):
+        header = struct.pack(">2sBBI", MAGIC, PROTOCOL_VERSION, 99, 0)
+        with pytest.raises(UnknownMessageTypeError) as err:
+            decode_header(header)
+        assert err.value.msg_type == 99
+
+    def test_header_size_is_stable(self):
+        # the wire format is versioned: changing the header layout must
+        # bump PROTOCOL_VERSION, and this pin makes that loud
+        assert HEADER_SIZE == 8
+        assert PROTOCOL_VERSION == 1
+
+
+class TestPayloadCodec:
+    def test_canonical_json_is_deterministic(self):
+        a = encode_payload({"b": 1, "a": {"z": None, "y": [1, 2]}})
+        b = encode_payload({"a": {"y": [1, 2], "z": None}, "b": 1})
+        assert a == b
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")  # not an object
+
+    def test_record_round_trip(self):
+        store = MultiVersionStore()
+        store.set_vertex_label(1, 1, "person")
+        store.add_edge(1, 2, 1, label="knows", direction="fwd")
+        store.add_edge(1, 3, 2)
+        store.delete_edge(1, 2, 3)
+        record = store.get_record(1)
+        clone = decode_record(decode_payload(encode_payload(encode_record(record))))
+        assert clone.label_history == record.label_history
+        assert set(clone.edges) == set(record.edges)
+        for dst, versions in record.edges.items():
+            assert [
+                (iv.added_ts, iv.deleted_ts, iv.label, iv.direction)
+                for iv in clone.edges[dst]
+            ] == [
+                (iv.added_ts, iv.deleted_ts, iv.label, iv.direction)
+                for iv in versions
+            ]
+
+    def test_record_decode_is_a_deep_copy(self):
+        store = MultiVersionStore()
+        store.add_edge(1, 2, 1)
+        record = store.get_record(1)
+        clone = decode_record(encode_record(record))
+        clone.edges[2][0].deleted_ts = 99
+        assert record.edges[2][0].deleted_ts is None
+
+    def test_none_record_passes_through(self):
+        assert encode_record(None) is None
+        assert decode_record(None) is None
+
+    def test_updated_keys_round_trip(self):
+        keys = {(3, 7): True, (1, 2): False}
+        assert decode_updated_keys(encode_updated_keys(keys)) == keys
+
+    def test_split_address(self):
+        assert split_address("127.0.0.1:7411") == ("127.0.0.1", 7411)
+        with pytest.raises(ValueError):
+            split_address("no-port")
