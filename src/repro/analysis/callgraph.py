@@ -1,0 +1,620 @@
+"""A conservative, purely syntactic project-wide call graph.
+
+The cross-module rules need to answer "what may this call invoke?"
+without importing anything.  This module builds, from the parsed
+:class:`~repro.analysis.project.ProjectContext` alone:
+
+* a **symbol table** — every top-level function and class (with its
+  methods) under a stable qualified name, ``module.func`` or
+  ``module.Class.method``;
+* a **class hierarchy** — base classes resolved through import aliases,
+  giving MRO-style method lookup and subclass closures;
+* **attribute types** — ``self.x = SomeClass(...)`` in ``__init__`` (or a
+  parameter annotation carried into ``self.x = param``) types the
+  attribute, so ``self.x.m()`` resolves to ``SomeClass.m``;
+* a **call edge set** — for every function, the set of project functions
+  each call site may reach.
+
+Resolution is deliberately *conservative in both directions*:
+
+* method calls on receivers typed to a class resolve to that class's
+  definition **and every project subclass override** (dynamic dispatch
+  over protocol implementations — a call through ``store: GraphStore``
+  reaches all four store kinds, which is exactly the registry
+  indirection ``make_store`` hides);
+* calls whose receiver cannot be typed fall back to a by-name match only
+  when exactly one project class defines the method *and* the name does
+  not collide with a builtin-container method (``append``, ``get``,
+  ``update``, ... would otherwise attribute list/dict traffic to project
+  classes and fabricate lock cycles);
+* anything still unresolved produces **no edge** — downstream analyses
+  under-approximate rather than hallucinate.
+
+Everything iterates in sorted order, so the graph (and every report
+derived from it) is deterministic.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import ModuleContext, base_name, dotted_name
+from repro.analysis.project import ProjectContext
+
+#: method names shared with builtin containers/IO objects; never resolved
+#: by the single-definer fallback (receiver-typed resolution still works)
+FALLBACK_DENYLIST = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "close",
+        "copy",
+        "count",
+        "decode",
+        "discard",
+        "encode",
+        "endswith",
+        "extend",
+        "filter",
+        "flush",
+        "format",
+        "get",
+        "group",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "match",
+        "pop",
+        "popitem",
+        "put",
+        "read",
+        "recv",
+        "release",
+        "remove",
+        "reverse",
+        "search",
+        "send",
+        "set",
+        "setdefault",
+        "sort",
+        "split",
+        "startswith",
+        "strip",
+        "sub",
+        "update",
+        "values",
+        "write",
+    }
+)
+
+_ABSTRACT_DECORATORS = {"abstractmethod", "abstractproperty"}
+_PROPERTY_DECORATORS = {"property", "cached_property", "abstractproperty", "setter"}
+_STATIC_DECORATORS = {"staticmethod"}
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_qual: Optional[str] = None
+    is_abstract: bool = False
+    is_property: bool = False
+    is_static: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+
+@dataclass
+class ClassInfo:
+    """One project class: bases, methods, inferred attribute types."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    #: resolved project-class base qualnames, declaration order
+    base_quals: List[str] = field(default_factory=list)
+    #: direct method definitions, name -> FunctionInfo
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: attr -> possible project-class qualnames (empty tuple: known to be
+    #: a non-project value; attr absent: nothing known at all)
+    attr_types: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: lock-factory attributes: attr -> reentrant (RLock)
+    lock_attrs: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+
+def _decorator_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for dec in getattr(node, "decorator_list", []):
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = base_name(target)
+        if name:
+            names.add(name)
+    return names
+
+
+def _lock_factory_kind(value: ast.AST) -> Optional[bool]:
+    """None if not a lock factory call, else True for RLock (reentrant)."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = base_name(value.func)
+    if name == "RLock" or (name is not None and name.endswith("RLock")):
+        return True
+    if name == "Lock" or (name is not None and name.endswith("Lock")):
+        return False
+    return None
+
+
+def module_imports(ctx: ModuleContext) -> Dict[str, str]:
+    """Local name -> canonical dotted target for every import in a module."""
+    imports: Dict[str, str] = {}
+    package = ctx.module.rsplit(".", 1)[0] if "." in ctx.module else ctx.module
+    for node in ctx.nodes:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                anchor = ctx.module.split(".")
+                # one level ascends to the containing package; each extra
+                # level drops another component
+                anchor = anchor[: max(len(anchor) - node.level, 0)]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            elif not base:
+                base = package
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+    return imports
+
+
+class CallGraph:
+    """Symbol table + conservative call edges for one project."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.imports: Dict[str, Dict[str, str]] = {}
+        #: caller qualname -> sorted tuple of callee qualnames
+        self.edges: Dict[str, Tuple[str, ...]] = {}
+        #: per call node (by identity): resolved callee qualnames
+        self._call_targets: Dict[int, Tuple[str, ...]] = {}
+        self._class_by_name: Dict[str, List[str]] = {}
+        self._method_definers: Dict[str, List[str]] = {}
+        self._subclasses: Dict[str, Set[str]] = {}
+        self._mro_cache: Dict[str, List[str]] = {}
+        self._collect_symbols()
+        self._resolve_bases()
+        self._infer_attr_types()
+        self._resolve_calls()
+
+    # -- symbol collection -------------------------------------------------
+
+    def _collect_symbols(self) -> None:
+        for name, ctx in self.project.modules.items():
+            self.imports[name] = module_imports(ctx)
+            for node in ctx.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{name}.{node.name}"
+                    self.functions[qual] = FunctionInfo(
+                        qualname=qual, module=name, path=ctx.path, node=node
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    self._collect_class(ctx, node)
+
+    def _collect_class(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        qual = f"{ctx.module}.{node.name}"
+        info = ClassInfo(
+            qualname=qual, module=ctx.module, path=ctx.path, node=node
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                decorators = _decorator_names(stmt)
+                method = FunctionInfo(
+                    qualname=f"{qual}.{stmt.name}",
+                    module=ctx.module,
+                    path=ctx.path,
+                    node=stmt,
+                    class_qual=qual,
+                    is_abstract=bool(decorators & _ABSTRACT_DECORATORS),
+                    is_property=bool(decorators & _PROPERTY_DECORATORS),
+                    is_static=bool(decorators & _STATIC_DECORATORS),
+                )
+                # first definition wins (@prop.setter re-defines the name)
+                info.methods.setdefault(stmt.name, method)
+                self.functions.setdefault(method.qualname, method)
+        self.classes[qual] = info
+        self._class_by_name.setdefault(node.name, []).append(qual)
+
+    # -- hierarchy ---------------------------------------------------------
+
+    def resolve_symbol(self, module: str, name: str) -> Optional[str]:
+        """Resolve a (possibly dotted) name in ``module`` to a qualname."""
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        imports = self.imports.get(module, {})
+        if head in imports:
+            resolved = imports[head] + ("." + rest if rest else "")
+        elif "." not in name:
+            resolved = f"{module}.{name}"
+        else:
+            resolved = name
+        if resolved in self.classes or resolved in self.functions:
+            return resolved
+        # ``from repro.store import api; api.make_store`` style: the
+        # target may itself be a module whose attribute we want
+        if rest and resolved not in self.classes:
+            tail = resolved
+            if tail in self.classes or tail in self.functions:
+                return tail
+        return None
+
+    def _resolve_bases(self) -> None:
+        for qual in sorted(self.classes):
+            info = self.classes[qual]
+            for base in info.node.bases:
+                expr = base.value if isinstance(base, ast.Subscript) else base
+                name = dotted_name(expr)
+                if name is None:
+                    continue
+                resolved = self.resolve_symbol(info.module, name)
+                if resolved is not None and resolved in self.classes:
+                    info.base_quals.append(resolved)
+                    self._subclasses.setdefault(resolved, set()).add(qual)
+
+    def mro(self, qual: str) -> List[str]:
+        """Linearized ancestry (self first), DFS left-to-right, deduped."""
+        cached = self._mro_cache.get(qual)
+        if cached is not None:
+            return cached
+        out: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(q: str) -> None:
+            if q in seen or q not in self.classes:
+                return
+            seen.add(q)
+            out.append(q)
+            for b in self.classes[q].base_quals:
+                visit(b)
+
+        visit(qual)
+        self._mro_cache[qual] = out
+        return out
+
+    def subclasses(self, qual: str) -> List[str]:
+        """All transitive project subclasses, sorted."""
+        out: Set[str] = set()
+        frontier = [qual]
+        while frontier:
+            current = frontier.pop()
+            for sub in self._subclasses.get(current, ()):
+                if sub not in out:
+                    out.add(sub)
+                    frontier.append(sub)
+        return sorted(out)
+
+    def resolve_method(
+        self, class_qual: str, name: str, virtual: bool = True
+    ) -> List[FunctionInfo]:
+        """Method ``name`` on ``class_qual``: MRO definition + overrides."""
+        found: Dict[str, FunctionInfo] = {}
+        for ancestor in self.mro(class_qual):
+            method = self.classes[ancestor].methods.get(name)
+            if method is not None:
+                found[method.qualname] = method
+                break
+        if virtual:
+            for sub in self.subclasses(class_qual):
+                method = self.classes[sub].methods.get(name)
+                if method is not None:
+                    found[method.qualname] = method
+        return [found[q] for q in sorted(found)]
+
+    def _constructor_targets(self, class_qual: str) -> List[str]:
+        for ancestor in self.mro(class_qual):
+            init = self.classes[ancestor].methods.get("__init__")
+            if init is not None:
+                return [init.qualname]
+        return []
+
+    # -- attribute typing --------------------------------------------------
+
+    def _annotation_class(self, module: str, annotation: ast.AST) -> Optional[str]:
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            name: Optional[str] = annotation.value
+        else:
+            expr = (
+                annotation.value
+                if isinstance(annotation, ast.Subscript)
+                else annotation
+            )
+            name = dotted_name(expr)
+            if name == "Optional" or name == "typing.Optional":
+                return None
+        if name is None:
+            return None
+        name = name.strip().strip("\"'")
+        resolved = self.resolve_symbol(module, name)
+        return resolved if resolved in self.classes else None
+
+    def _infer_attr_types(self) -> None:
+        for qual in sorted(self.classes):
+            info = self.classes[qual]
+            known: Dict[str, Set[str]] = {}
+            sealed: Set[str] = set()  # attrs with a known non-project value
+            # class-body annotations (dataclass fields and the like)
+            for stmt in info.node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    resolved = self._annotation_class(info.module, stmt.annotation)
+                    if resolved is not None:
+                        known.setdefault(stmt.target.id, set()).add(resolved)
+                    else:
+                        sealed.add(stmt.target.id)
+            for method in info.methods.values():
+                params = self._param_annotations(info.module, method)
+                for node in ast.walk(method.node):
+                    if isinstance(node, ast.AnnAssign):
+                        target = node.target
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            resolved = self._annotation_class(
+                                info.module, node.annotation
+                            )
+                            if resolved is not None:
+                                known.setdefault(target.attr, set()).add(resolved)
+                            else:
+                                sealed.add(target.attr)
+                        continue
+                    if not isinstance(node, ast.Assign):
+                        continue
+                    for target in node.targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        reentrant = _lock_factory_kind(node.value)
+                        if reentrant is not None:
+                            info.lock_attrs.setdefault(target.attr, reentrant)
+                        classes = self._value_classes(
+                            info.module, node.value, params
+                        )
+                        if classes:
+                            known.setdefault(target.attr, set()).update(classes)
+                        else:
+                            sealed.add(target.attr)
+            for attr in sorted(set(known) | sealed):
+                info.attr_types[attr] = tuple(sorted(known.get(attr, ())))
+
+    def _param_annotations(
+        self, module: str, method: FunctionInfo
+    ) -> Dict[str, str]:
+        args = method.node.args  # type: ignore[attr-defined]
+        out: Dict[str, str] = {}
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is None:
+                continue
+            resolved = self._annotation_class(module, arg.annotation)
+            if resolved is not None:
+                out[arg.arg] = resolved
+        return out
+
+    def _value_classes(
+        self, module: str, value: ast.AST, params: Dict[str, str]
+    ) -> List[str]:
+        """Project classes a right-hand side may evaluate to."""
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is not None:
+                resolved = self.resolve_symbol(module, name)
+                if resolved in self.classes:
+                    return [resolved]
+            return []
+        if isinstance(value, ast.Name):
+            if value.id in params:
+                return [params[value.id]]
+            resolved = self.resolve_symbol(module, value.id)
+            if resolved in self.classes:
+                return [resolved]
+        if isinstance(value, ast.IfExp):
+            return sorted(
+                set(self._value_classes(module, value.body, params))
+                | set(self._value_classes(module, value.orelse, params))
+            )
+        return []
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_calls(self) -> None:
+        for qual in sorted(self.functions):
+            fn = self.functions[qual]
+            # methods are walked under their own qualname; skip their
+            # nodes when walking the enclosing module's top-level defs
+            local_classes = self._local_instances(fn)
+            params = self._param_annotations(fn.module, fn)
+            targets: Set[str] = set()
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = self._resolve_call(fn, node, local_classes, params)
+                if resolved:
+                    self._call_targets[id(node)] = tuple(sorted(resolved))
+                    targets.update(resolved)
+            self.edges[qual] = tuple(sorted(targets))
+
+    def _local_instances(self, fn: FunctionInfo) -> Dict[str, List[str]]:
+        """Locals assigned a project class (``cls = Store`` / ``x = Store()``)."""
+        out: Dict[str, List[str]] = {}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            classes = self._value_classes(fn.module, node.value, {})
+            if not classes:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.setdefault(target.id, [])
+                    for cls in classes:
+                        if cls not in out[target.id]:
+                            out[target.id].append(cls)
+        return out
+
+    def _resolve_call(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        local_classes: Dict[str, List[str]],
+        params: Dict[str, str],
+    ) -> List[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name_call(fn, func.id, local_classes)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attr_call(fn, func, local_classes, params)
+        return []
+
+    def _resolve_name_call(
+        self, fn: FunctionInfo, name: str, local_classes: Dict[str, List[str]]
+    ) -> List[str]:
+        if name in local_classes:
+            out: List[str] = []
+            for cls in local_classes[name]:
+                out.extend(self._constructor_targets(cls))
+            return sorted(set(out))
+        resolved = self.resolve_symbol(fn.module, name)
+        if resolved is None:
+            return []
+        if resolved in self.classes:
+            return self._constructor_targets(resolved)
+        if resolved in self.functions:
+            return [resolved]
+        return []
+
+    def _resolve_attr_call(
+        self,
+        fn: FunctionInfo,
+        func: ast.Attribute,
+        local_classes: Dict[str, List[str]],
+        params: Dict[str, str],
+    ) -> List[str]:
+        attr = func.attr
+        receiver = func.value
+        # self.m(...)
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id == "self"
+            and fn.class_qual is not None
+        ):
+            return [m.qualname for m in self.resolve_method(fn.class_qual, attr)]
+        # self.x.m(...): attribute-typed receiver
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and fn.class_qual is not None
+        ):
+            info = self.classes.get(fn.class_qual)
+            candidates: Optional[Tuple[str, ...]] = None
+            if info is not None:
+                for ancestor in self.mro(fn.class_qual):
+                    types = self.classes[ancestor].attr_types.get(receiver.attr)
+                    if types is not None:
+                        candidates = types
+                        break
+            if candidates is not None:
+                out: List[str] = []
+                for cls in candidates:
+                    out.extend(
+                        m.qualname for m in self.resolve_method(cls, attr)
+                    )
+                return sorted(set(out))
+            return self._fallback_by_name(attr)
+        # x.m(...) where x is a typed local or annotated parameter
+        if isinstance(receiver, ast.Name):
+            classes = list(local_classes.get(receiver.id, ()))
+            if receiver.id in params:
+                classes.append(params[receiver.id])
+            if classes:
+                out = []
+                for cls in classes:
+                    out.extend(
+                        m.qualname for m in self.resolve_method(cls, attr)
+                    )
+                return sorted(set(out))
+        # mod.fn(...) / mod.Class(...) through an imported module name
+        name = dotted_name(func)
+        if name is not None:
+            resolved = self.resolve_symbol(fn.module, name)
+            if resolved in self.functions:
+                return [resolved]
+            if resolved in self.classes:
+                return self._constructor_targets(resolved)
+        return self._fallback_by_name(attr)
+
+    def _fallback_by_name(self, attr: str) -> List[str]:
+        """Single-definer fallback for untyped receivers (see module doc)."""
+        if attr.startswith("__") or attr in FALLBACK_DENYLIST:
+            return []
+        definers = self._method_definers_of(attr)
+        if len(definers) == 1:
+            return definers
+        return []
+
+    def _method_definers_of(self, attr: str) -> List[str]:
+        cached = self._method_definers.get(attr)
+        if cached is None:
+            cached = sorted(
+                self.classes[c].methods[attr].qualname
+                for c in self.classes
+                if attr in self.classes[c].methods
+            )
+            self._method_definers[attr] = cached
+        return cached
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qualname: str) -> Tuple[str, ...]:
+        return self.edges.get(qualname, ())
+
+    def call_targets(self, call: ast.Call) -> Tuple[str, ...]:
+        """Resolved targets of one call node (empty if unresolved)."""
+        return self._call_targets.get(id(call), ())
+
+
+def build_callgraph(project: ProjectContext) -> CallGraph:
+    """The memoized project call graph (shared by RL008/RL009/RL011)."""
+    return project.shared("callgraph", CallGraph)

@@ -27,7 +27,9 @@ try:  # Python >= 3.11
 except ImportError:  # pragma: no cover - exercised only on 3.10
     tomllib = None  # type: ignore[assignment]
 
-#: every shipped invariant rule, in report order
+#: every shipped invariant rule, in report order (RL001–RL007 are
+#: per-module; RL008–RL011 are project-scope and only run under
+#: ``--project``/``--changed``, where the whole tree is loaded)
 DEFAULT_SELECT: Tuple[str, ...] = (
     "RL001",
     "RL002",
@@ -36,6 +38,10 @@ DEFAULT_SELECT: Tuple[str, ...] = (
     "RL005",
     "RL006",
     "RL007",
+    "RL008",
+    "RL009",
+    "RL010",
+    "RL011",
 )
 
 #: modules whose hot paths must use the telemetry null objects (RL004)

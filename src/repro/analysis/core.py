@@ -148,9 +148,43 @@ RULES: Dict[str, Type[Rule]] = {}
 
 def rule(cls: Type[Rule]) -> Type[Rule]:
     """Register a :class:`Rule` subclass under its ``rule_id``."""
-    if cls.rule_id in RULES:
+    if cls.rule_id in RULES or cls.rule_id in PROJECT_RULES:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     RULES[cls.rule_id] = cls
+    return cls
+
+
+class ProjectRule:
+    """Base class for cross-module rules; registered via :func:`project_rule`.
+
+    A project rule sees the whole :class:`~repro.analysis.project.\
+ProjectContext` at once instead of one module — it can walk the call
+    graph, chase taint through helpers, or compare a class against a
+    protocol defined three modules away.  Suppression comments still work:
+    the driver routes each finding back through the owning module's
+    ``# repro: ignore[...]`` index.
+    """
+
+    rule_id: str = "RL???"
+    summary: str = ""
+
+    def check_project(self, project) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    @classmethod
+    def describe(cls) -> str:
+        return f"{cls.rule_id}: {cls.summary}"
+
+
+#: rule id -> project-scope rule class (disjoint from :data:`RULES`)
+PROJECT_RULES: Dict[str, Type[ProjectRule]] = {}
+
+
+def project_rule(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Register a :class:`ProjectRule` subclass under its ``rule_id``."""
+    if cls.rule_id in RULES or cls.rule_id in PROJECT_RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    PROJECT_RULES[cls.rule_id] = cls
     return cls
 
 
@@ -189,17 +223,50 @@ def _split_ids(raw: str) -> List[str]:
 # -- running the analysis ----------------------------------------------------
 
 
-def active_rules(config: LintConfig) -> List[Rule]:
-    """Instantiate the selected rules, failing loudly on unknown ids."""
-    # Rule modules register themselves on import; make sure they loaded.
+def _load_rule_modules() -> None:
+    """Import the rule modules (they register themselves on import)."""
+    import repro.analysis.project_rules  # noqa: F401  (registration side effect)
     import repro.analysis.rules  # noqa: F401  (registration side effect)
 
+
+def active_rules(config: LintConfig) -> List[Rule]:
+    """Instantiate the selected per-module rules, failing on unknown ids.
+
+    Project-scope ids (RL008+) in the selection are legitimate — they are
+    simply not *module* rules, so they are skipped here and picked up by
+    :func:`active_project_rules`; only ids unknown to both registries are
+    an error.
+    """
+    _load_rule_modules()
     selected = config.enabled_rules()
-    unknown = [rule_id for rule_id in selected if rule_id not in RULES]
+    unknown = [
+        rule_id
+        for rule_id in selected
+        if rule_id not in RULES and rule_id not in PROJECT_RULES
+    ]
     if unknown:
-        known = ", ".join(sorted(RULES))
+        known = ", ".join(sorted({**RULES, **PROJECT_RULES}))
         raise ValueError(f"unknown rule ids {unknown}; known rules: {known}")
-    return [RULES[rule_id]() for rule_id in selected]
+    return [RULES[rule_id]() for rule_id in selected if rule_id in RULES]
+
+
+def active_project_rules(config: LintConfig) -> List[ProjectRule]:
+    """Instantiate the selected project-scope rules (unknown ids error)."""
+    _load_rule_modules()
+    selected = config.enabled_rules()
+    unknown = [
+        rule_id
+        for rule_id in selected
+        if rule_id not in RULES and rule_id not in PROJECT_RULES
+    ]
+    if unknown:
+        known = ", ".join(sorted({**RULES, **PROJECT_RULES}))
+        raise ValueError(f"unknown rule ids {unknown}; known rules: {known}")
+    return [
+        PROJECT_RULES[rule_id]()
+        for rule_id in selected
+        if rule_id in PROJECT_RULES
+    ]
 
 
 def lint_source(
@@ -257,6 +324,52 @@ def lint_paths(
         source = path.read_text(encoding="utf-8")
         violations.extend(lint_source(source, path.as_posix(), config))
     return sorted(violations), len(files)
+
+
+def lint_project(
+    root: str,
+    config: Optional[LintConfig] = None,
+    cache_dir: Optional[Path] = None,
+    only_paths: Optional[Sequence[str]] = None,
+) -> Tuple[List[Violation], int]:
+    """Whole-program lint: module rules plus the project-scope rules.
+
+    ``only_paths`` (the ``--changed`` mode) limits *module-rule* findings
+    and the files-checked count to those paths; project rules always
+    analyze — and report on — the full tree, because a call-graph edge or
+    lock cycle cannot be judged from a diff: an edit to one file can
+    create a violation whose best anchor line lives in another.
+    """
+    # local import: project.py imports this module at load time
+    from repro.analysis.project import load_project
+
+    config = config if config is not None else LintConfig()
+    project = load_project(Path(root), config, cache_dir)
+    allowed: Optional[Set[str]] = None
+    if only_paths is not None:
+        allowed = {Path(p).as_posix() for p in only_paths}
+    out: Set[Violation] = set()
+    for violation in project.syntax_errors:
+        if allowed is None or violation.path in allowed:
+            out.add(violation)
+    module_checkers = active_rules(config)
+    for ctx in project:
+        if allowed is not None and ctx.path not in allowed:
+            continue
+        for checker in module_checkers:
+            for violation in checker.check_module(ctx):
+                if not ctx.suppressed(violation):
+                    out.add(violation)
+    for project_checker in active_project_rules(config):
+        for violation in project_checker.check_project(project):
+            if not project.suppressed(violation):
+                out.add(violation)
+    checked = (
+        len(allowed)
+        if allowed is not None
+        else len(project) + len(project.syntax_errors)
+    )
+    return sorted(out), checked
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

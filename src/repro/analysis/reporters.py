@@ -11,7 +11,15 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Sequence
 
-from repro.analysis.core import RULES, Violation
+from repro.analysis.core import PROJECT_RULES, RULES, Violation
+
+
+def _all_rules() -> Dict[str, type]:
+    """Module-scope and project-scope rules, merged (ids are disjoint)."""
+    from repro.analysis.core import _load_rule_modules
+
+    _load_rule_modules()
+    return {**RULES, **PROJECT_RULES}
 
 #: bumped when the JSON document shape changes
 REPORT_VERSION = 1
@@ -41,7 +49,9 @@ def to_json_document(
     return {
         "version": REPORT_VERSION,
         "files_checked": files_checked,
-        "rules": {rule_id: cls.summary for rule_id, cls in sorted(RULES.items())},
+        "rules": {
+            rule_id: cls.summary for rule_id, cls in sorted(_all_rules().items())
+        },
         "counts": dict(sorted(counts.items())),
         "violations": [v.to_dict() for v in sorted(violations)],
     }
@@ -70,9 +80,8 @@ def render(
 
 def list_rules() -> str:
     """Registered rules as ``RLxxx: summary`` lines (for ``--list-rules``)."""
-    import repro.analysis.rules  # noqa: F401  (registration side effect)
-
     out: List[str] = [
-        f"{rule_id}  {cls.summary}" for rule_id, cls in sorted(RULES.items())
+        f"{rule_id}  {cls.summary}"
+        for rule_id, cls in sorted(_all_rules().items())
     ]
     return "\n".join(out) + "\n"

@@ -303,6 +303,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
     argv: List[str] = list(args.paths)
     if args.list_rules:
         argv.append("--list-rules")
+    if args.project:
+        argv.append("--project")
+    if args.changed:
+        argv.append("--changed")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     argv += ["--format", args.format]
     if args.json_output:
         argv += ["--json-output", args.json_output]
@@ -455,9 +463,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve_store)
 
     p = sub.add_parser(
-        "lint", help="run the repro-lint invariant checker (rules RL001-RL007)"
+        "lint", help="run the repro-lint invariant checker (rules RL001-RL011)"
     )
     p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program mode: also run project-scope rules RL008-RL011",
+    )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-changed files (project rules still see the tree)",
+    )
+    p.add_argument("--cache-dir", metavar="DIR", default=None)
+    p.add_argument("--no-cache", action="store_true")
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--json-output", metavar="FILE")
     p.add_argument("--select", metavar="RULES")

@@ -7,9 +7,14 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import LintConfig, lint_paths, lint_source, main
+from repro.analysis import LintConfig, lint_paths, lint_project, lint_source, main
 from repro.analysis.config import config_from_table, load_config
-from repro.analysis.core import RULES, active_rules
+from repro.analysis.core import (
+    PROJECT_RULES,
+    RULES,
+    active_project_rules,
+    active_rules,
+)
 from repro.analysis.reporters import render, to_text
 
 REPO = Path(__file__).resolve().parents[2]
@@ -52,6 +57,7 @@ class TestSuppressions:
 
 class TestConfig:
     def test_registry_has_exactly_the_shipped_rules(self):
+        active_rules(LintConfig())  # force registration of both registries
         assert sorted(RULES) == [
             "RL001",
             "RL002",
@@ -61,6 +67,12 @@ class TestConfig:
             "RL006",
             "RL007",
         ]
+        assert sorted(PROJECT_RULES) == ["RL008", "RL009", "RL010", "RL011"]
+
+    def test_project_ids_are_skipped_by_module_driver(self):
+        config = LintConfig(select=("RL001", "RL009"))
+        assert [r.rule_id for r in active_rules(config)] == ["RL001"]
+        assert [r.rule_id for r in active_project_rules(config)] == ["RL009"]
 
     def test_unknown_rule_id_is_an_error(self):
         with pytest.raises(ValueError, match="RL999"):
@@ -97,7 +109,18 @@ class TestConfig:
             "RL005",
             "RL006",
             "RL007",
+            "RL008",
+            "RL009",
+            "RL010",
+            "RL011",
         )
+
+    def test_pyproject_mirrors_default_select(self):
+        """3.10 has no tomllib and falls back to defaults — keep them equal."""
+        from repro.analysis.config import DEFAULT_SELECT
+
+        config = load_config(pyproject=REPO / "pyproject.toml")
+        assert config.select == DEFAULT_SELECT
 
 
 class TestReporters:
@@ -169,5 +192,12 @@ class TestDogfood:
         """The shipped tree must satisfy its own invariants (acceptance)."""
         config = load_config(pyproject=REPO / "pyproject.toml")
         violations, files_checked = lint_paths([str(SRC)], config)
+        assert violations == [], to_text(violations, files_checked)
+        assert files_checked > 70
+
+    def test_src_repro_is_clean_in_project_mode(self):
+        """Whole-program mode (RL008-RL011 included) is clean too."""
+        config = load_config(pyproject=REPO / "pyproject.toml")
+        violations, files_checked = lint_project(str(SRC), config)
         assert violations == [], to_text(violations, files_checked)
         assert files_checked > 70

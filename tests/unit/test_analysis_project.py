@@ -1,0 +1,369 @@
+"""Tests for the whole-program engine: loader, cache, call graph, fixpoint."""
+
+import pickle
+import textwrap
+
+import pytest
+
+from repro.analysis import main
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.config import LintConfig
+from repro.analysis.core import lint_project
+from repro.analysis.dataflow import MONO, WALL, build_return_taint, fixpoint
+from repro.analysis.project import CACHE_VERSION, load_project, module_name_for
+
+
+def make_project(tmp_path, files):
+    """Materialize ``{relative_path: source}`` under a ``repro`` root."""
+    root = tmp_path / "repro"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "__init__.py").write_text("")
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        for parent in target.relative_to(root).parents:
+            if str(parent) != ".":
+                init = root / parent / "__init__.py"
+                if not init.exists():
+                    init.write_text("")
+        target.write_text(textwrap.dedent(source))
+    return root
+
+
+class TestLoader:
+    def test_module_names_anchor_at_root(self, tmp_path):
+        root = make_project(tmp_path, {"store/api.py": "x = 1\n"})
+        assert module_name_for(root / "store" / "api.py", root) == "repro.store.api"
+        assert module_name_for(root / "store" / "__init__.py", root) == "repro.store"
+
+    def test_iteration_is_sorted_by_module_name(self, tmp_path):
+        root = make_project(
+            tmp_path, {"zeta.py": "a = 1\n", "alpha.py": "b = 2\n", "mid.py": "c = 3\n"}
+        )
+        project = load_project(root)
+        names = [ctx.module for ctx in project]
+        assert names == sorted(names)
+        assert "repro.alpha" in names and "repro.zeta" in names
+
+    def test_syntax_error_becomes_rl000(self, tmp_path):
+        root = make_project(tmp_path, {"broken.py": "def f(:\n"})
+        project = load_project(root)
+        assert [v.rule_id for v in project.syntax_errors] == ["RL000"]
+        assert project.module("repro.broken") is None
+
+    def test_identical_files_get_distinct_trees(self, tmp_path):
+        # node-identity-keyed analyses (call targets) need per-module trees
+        root = make_project(
+            tmp_path, {"a.py": "value = 1\n", "b.py": "value = 1\n"}
+        )
+        project = load_project(root)
+        assert project.module("repro.a").tree is not project.module("repro.b").tree
+
+
+class TestCache:
+    def test_second_load_hits_for_every_file(self, tmp_path):
+        root = make_project(tmp_path, {"a.py": "x = 1\n", "b.py": "y = 2\n"})
+        cache = tmp_path / "cache"
+        first = load_project(root, cache_dir=cache)
+        assert first.cache_hits == 0 and first.cache_misses == len(first)
+        second = load_project(root, cache_dir=cache)
+        assert second.cache_misses == 0 and second.cache_hits == len(second)
+
+    def test_edited_file_misses_and_reparses(self, tmp_path):
+        root = make_project(tmp_path, {"a.py": "x = 1\n", "b.py": "y = 2\n"})
+        cache = tmp_path / "cache"
+        load_project(root, cache_dir=cache)
+        (root / "a.py").write_text("x = 99\n")
+        again = load_project(root, cache_dir=cache)
+        assert again.cache_misses == 1
+        node = again.module("repro.a").tree.body[0]
+        assert node.value.value == 99
+
+    def test_corrupt_cache_degrades_to_parse(self, tmp_path):
+        root = make_project(tmp_path, {"a.py": "x = 1\n"})
+        cache = tmp_path / "cache"
+        load_project(root, cache_dir=cache)
+        for payload in [b"garbage", pickle.dumps({"version": CACHE_VERSION - 1})]:
+            for cached_file in cache.iterdir():
+                cached_file.write_bytes(payload)
+            project = load_project(root, cache_dir=cache)
+            assert project.module("repro.a") is not None
+            assert project.cache_hits == 0
+
+    def test_no_cache_dir_never_writes(self, tmp_path):
+        root = make_project(tmp_path, {"a.py": "x = 1\n"})
+        load_project(root, cache_dir=None)
+        assert sorted(tmp_path.iterdir()) == [root]
+
+
+CALLGRAPH_FILES = {
+    "util.py": """
+        def helper():
+            return 7
+        """,
+    "impl.py": """
+        from repro.util import helper as aliased
+
+        class Base:
+            def hook(self):
+                return 0
+
+        class Sub(Base):
+            def hook(self):
+                return aliased()
+
+        class Holder:
+            def __init__(self, member: "Base"):
+                self.member = member
+
+            def poke(self):
+                return self.member.hook()
+        """,
+    "factory.py": """
+        from repro.impl import Base, Sub
+
+        def make(kind):
+            if kind == "sub":
+                cls = Sub
+            else:
+                cls = Base
+            return cls()
+        """,
+}
+
+
+class TestCallGraph:
+    @pytest.fixture()
+    def graph(self, tmp_path):
+        root = make_project(tmp_path, CALLGRAPH_FILES)
+        return build_callgraph(load_project(root))
+
+    def test_aliased_import_resolves(self, graph):
+        assert "repro.util.helper" in graph.callees("repro.impl.Sub.hook")
+
+    def test_method_dispatch_includes_subclass_overrides(self, graph):
+        # a call through a Base-typed attribute may reach either override
+        callees = graph.callees("repro.impl.Holder.poke")
+        assert "repro.impl.Base.hook" in callees
+        assert "repro.impl.Sub.hook" in callees
+
+    def test_registry_indirection_reaches_constructors(self, graph):
+        # the make_store pattern: cls = Impl; cls(**kwargs)
+        callees = graph.callees("repro.factory.make")
+        assert "repro.impl.Holder.__init__" not in callees
+        # Base/Sub define no __init__, so the local-alias resolution has
+        # no constructor to land on — but the aliases themselves resolved:
+        assert graph.classes["repro.impl.Sub"].base_quals == ["repro.impl.Base"]
+
+    def test_denylisted_names_produce_no_fallback_edge(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "box.py": """
+                class Box:
+                    def append(self, item):
+                        return item
+
+                def stuff(bag):
+                    bag.append(1)
+                """,
+            },
+        )
+        graph = build_callgraph(load_project(root))
+        assert graph.callees("repro.box.stuff") == ()
+
+    def test_single_definer_fallback_resolves_unique_names(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "box.py": """
+                class Box:
+                    def unique_verb(self):
+                        return 1
+
+                def stuff(bag):
+                    return bag.unique_verb()
+                """,
+            },
+        )
+        graph = build_callgraph(load_project(root))
+        assert graph.callees("repro.box.stuff") == ("repro.box.Box.unique_verb",)
+
+
+class TestFixpoint:
+    def test_converges_on_a_cycle(self):
+        # a -> b -> c -> a; a seed fact at a must reach every node
+        edges = {"a": ["b"], "b": ["c"], "c": ["a"]}
+
+        def transfer(node, facts):
+            out = {"seed"} if node == "a" else set()
+            for succ in edges[node]:
+                out |= facts[succ]
+            return out
+
+        facts, rounds = fixpoint(sorted(edges), transfer)
+        assert all(facts[n] == {"seed"} for n in edges)
+        assert rounds <= len(edges) + 2
+
+    def test_return_taint_terminates_on_mutual_recursion(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "loop.py": """
+                import time
+
+                def ping(n):
+                    if n <= 0:
+                        return time.time()
+                    return pong(n - 1)
+
+                def pong(n):
+                    return ping(n - 1)
+                """,
+            },
+        )
+        taint = build_return_taint(load_project(root))
+        assert WALL in taint.returns["repro.loop.ping"]
+        assert WALL in taint.returns["repro.loop.pong"]
+
+    def test_monotonic_and_wall_kinds_are_distinct(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "clocks.py": """
+                import time
+
+                def wall():
+                    return time.time()
+
+                def mono():
+                    return time.perf_counter()
+                """,
+            },
+        )
+        taint = build_return_taint(load_project(root))
+        assert taint.returns["repro.clocks.wall"] == frozenset({WALL})
+        assert taint.returns["repro.clocks.mono"] == frozenset({MONO})
+
+
+class TestChangedMode:
+    def test_only_paths_limits_module_findings(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "one.py": "import time\n\ndef a():\n    return time.time()\n",
+                "two.py": "import time\n\ndef b():\n    return time.time()\n",
+            },
+        )
+        config = LintConfig(select=("RL001",))
+        everything, _ = lint_project(root.as_posix(), config)
+        assert {v.path for v in everything} == {
+            (root / "one.py").as_posix(),
+            (root / "two.py").as_posix(),
+        }
+        limited, checked = lint_project(
+            root.as_posix(), config, only_paths=[(root / "one.py").as_posix()]
+        )
+        assert {v.path for v in limited} == {(root / "one.py").as_posix()}
+        assert checked == 1
+
+    def test_project_rules_ignore_the_path_filter(self, tmp_path):
+        root = make_project(
+            tmp_path,
+            {
+                "helper.py": "import time\n\ndef stamp():\n    return time.time()\n",
+                "sink.py": (
+                    "from repro.helper import stamp\n\n"
+                    "def bump(counter):\n"
+                    "    value = stamp()\n"
+                    "    counter.inc(value)\n"
+                ),
+            },
+        )
+        config = LintConfig(select=("RL008",))
+        limited, _ = lint_project(
+            root.as_posix(), config, only_paths=[(root / "helper.py").as_posix()]
+        )
+        # the finding lives in sink.py, which is not in only_paths — the
+        # project rule reports it anyway (a diff cannot scope a call graph)
+        assert [v.rule_id for v in limited] == ["RL008"]
+        assert limited[0].path == (root / "sink.py").as_posix()
+
+
+class TestDeterminism:
+    def test_two_runs_produce_byte_identical_json(self, tmp_path, capsys):
+        root = make_project(
+            tmp_path,
+            {
+                "helper.py": "import time\n\ndef stamp():\n    return time.time()\n",
+                "sink.py": (
+                    "from repro.helper import stamp\n\n"
+                    "def bump(counter):\n"
+                    "    counter.inc(stamp())\n"
+                ),
+            },
+        )
+        reports = []
+        for run in range(2):
+            out = tmp_path / f"report-{run}.json"
+            code = main(
+                [root.as_posix(), "--project", "--no-cache", "--json-output", str(out)]
+            )
+            assert code == 1
+            reports.append(out.read_bytes())
+        capsys.readouterr()
+        assert reports[0] == reports[1]
+
+    def test_json_report_lists_all_rule_ids(self, tmp_path, capsys):
+        import json
+
+        root = make_project(tmp_path, {"ok.py": "x = 1\n"})
+        out = tmp_path / "report.json"
+        assert main([root.as_posix(), "--project", "--no-cache", "--json-output", str(out)]) == 0
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        for rule_id in ["RL001", "RL007", "RL008", "RL009", "RL010", "RL011"]:
+            assert rule_id in doc["rules"]
+
+
+class TestProjectCli:
+    def test_project_flag_runs_project_rules(self, tmp_path, capsys):
+        root = make_project(
+            tmp_path,
+            {
+                "net/handler.py": (
+                    "def eat(fn):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except Exception:\n"
+                    "        return None\n"
+                ),
+            },
+        )
+        assert main([root.as_posix(), "--project", "--no-cache"]) == 1
+        assert "RL010" in capsys.readouterr().out
+
+    def test_without_project_flag_module_rules_only(self, tmp_path, capsys):
+        root = make_project(
+            tmp_path,
+            {
+                "net/handler.py": (
+                    "def eat(fn):\n"
+                    "    try:\n"
+                    "        return fn()\n"
+                    "    except Exception:\n"
+                    "        return None\n"
+                ),
+            },
+        )
+        assert main([root.as_posix()]) == 0
+        capsys.readouterr()
+
+    def test_cache_dir_flag_populates_cache(self, tmp_path, capsys):
+        root = make_project(tmp_path, {"ok.py": "x = 1\n"})
+        cache = tmp_path / "lint-cache"
+        assert (
+            main([root.as_posix(), "--project", "--cache-dir", str(cache)]) == 0
+        )
+        capsys.readouterr()
+        assert any(cache.iterdir())
