@@ -51,6 +51,7 @@ DEFAULT_HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro.streaming",
     "repro.dataflow",
     "repro.telemetry.profile",
+    "repro.net",
 )
 
 

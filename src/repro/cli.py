@@ -22,7 +22,17 @@ Commands
 
 ``serve-store``
     Serve a graph store over TCP (:mod:`repro.net`) so other processes
-    can mine against it with ``mine --store net --store-addr``.
+    can mine against it with ``mine --store net --store-addr``; grows a
+    live ops surface with ``--telemetry-addr`` (``/metrics``,
+    ``/healthz``) and a server-side trace file with ``--trace-out``.
+
+``top``
+    One-shot (or ``--interval`` repeated) text view of a running
+    serve-store telemetry endpoint's hot methods.
+
+``trace-merge``
+    Stitch client + server trace JSONL files into one tree and print the
+    per-RPC client/wire/server/store time decomposition.
 
 ``lint``
     Run repro-lint, the project's AST-based invariant checker
@@ -35,7 +45,7 @@ import argparse
 import random
 import sys
 import time
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.apps import (
     CliqueMining,
@@ -122,7 +132,9 @@ def cmd_mine(args: argparse.Namespace) -> int:
     if args.trace_out or args.metrics_out or args.flame_out:
         from repro.telemetry import Telemetry
 
-        telemetry = Telemetry()
+        # the node identity stamps trace exports (trace.meta) so
+        # 'repro trace-merge' can stitch them with a server's file
+        telemetry = Telemetry(node="client")
     profiling = bool(args.profile_out or args.report)
     if not args.updates and initial is None:
         raise SystemExit("provide --updates, --graph, or both")
@@ -283,17 +295,101 @@ def cmd_serve_store(args: argparse.Namespace) -> int:
         host, port = split_address(args.addr)
     except ValueError as exc:
         raise SystemExit(f"serve-store: {exc}")
-    server = StoreServer(store, host, port)
+    telemetry = None
+    if args.trace_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(node=args.node)
+    server = StoreServer(store, host, port, telemetry=telemetry)
     host, port = server.address
     # parsed by scripts (and the CI smoke step) to discover the bound port
     print(f"serving {store.kind} store on {host}:{port}", flush=True)
+    telemetry_server = None
+    if args.telemetry_addr:
+        from repro.net.ops import TelemetryServer
+
+        try:
+            t_host, t_port = split_address(args.telemetry_addr)
+        except ValueError as exc:
+            raise SystemExit(f"serve-store: {exc}")
+        telemetry_server = TelemetryServer(server, t_host, t_port).start()
+        t_host, t_port = telemetry_server.address
+        print(f"telemetry on {t_host}:{t_port}", flush=True)
+    # Background-launched processes (`serve-store ... &` from a script, as
+    # in the CI smoke) inherit SIGINT as SIG_IGN, and Python leaves an
+    # inherited ignore in place — `kill -INT` would then do nothing and the
+    # trace export below would never run.  Install handlers explicitly so
+    # both SIGINT and SIGTERM always reach the graceful-shutdown path.
+    import signal
+
+    def _interrupt(_signum: int, _frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, _interrupt)
+    signal.signal(signal.SIGTERM, _interrupt)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
+        if telemetry_server is not None:
+            telemetry_server.close()
+        if telemetry is not None and args.trace_out:
+            with open(args.trace_out, "w") as fh:
+                telemetry.tracer.export_jsonl(fh)
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Text view of a serve-store telemetry endpoint's hot methods."""
+    import json as json_mod
+
+    from repro.net.errors import NetError
+    from repro.net.ops import http_get, render_top
+
+    rounds = 0
+    while True:
+        try:
+            status, body = http_get(args.addr, "/statz", timeout=args.timeout)
+        except NetError as exc:
+            raise SystemExit(f"top: {exc}")
+        if status != 200:
+            raise SystemExit(f"top: {args.addr}/statz answered HTTP {status}")
+        try:
+            stats = json_mod.loads(body)
+        except ValueError as exc:
+            raise SystemExit(f"top: {args.addr}/statz is not JSON: {exc}")
+        print(render_top(stats, limit=args.limit), flush=True)
+        rounds += 1
+        if args.interval is None or (args.count and rounds >= args.count):
+            return 0
+        print(flush=True)
+        time.sleep(args.interval)
+
+
+def cmd_trace_merge(args: argparse.Namespace) -> int:
+    """Stitch per-node trace files and print the RPC decomposition."""
+    from repro.telemetry.merge import merge_trace_paths
+
+    try:
+        merged = merge_trace_paths(args.traces, default_nodes=args.node)
+    except OSError as exc:
+        raise SystemExit(f"trace-merge: {exc}")
+    except ValueError as exc:
+        raise SystemExit(
+            f"trace-merge: {exc} (use --node to name identity-less files)"
+        )
+    if args.json_out:
+        doc = merged.to_json()
+        if args.json_out == "-":
+            sys.stdout.write(doc + "\n")
+        else:
+            with open(args.json_out, "w") as fh:
+                fh.write(doc + "\n")
+    print(merged.render(top=args.top))
+    skewed = [s for s in merged.skew if not s.consistent]
+    return 1 if skewed and args.fail_on_skew else 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -460,7 +556,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--shards", type=int, default=8)
     p.add_argument("--graph", help="edge-list file preloaded into the store")
+    p.add_argument(
+        "--telemetry-addr",
+        metavar="HOST:PORT",
+        help="also serve /metrics, /healthz, and /statz on this address "
+        "(port 0 picks a free port, printed on startup)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable server-side tracing; write spans as JSON lines to FILE "
+        "on shutdown (merge with the client file via 'repro trace-merge')",
+    )
+    p.add_argument(
+        "--node",
+        default="server",
+        help="node identity stamped on the trace export (default: server)",
+    )
     p.set_defaults(func=cmd_serve_store)
+
+    p = sub.add_parser(
+        "top", help="hot-methods view of a serve-store --telemetry-addr endpoint"
+    )
+    p.add_argument("addr", metavar="HOST:PORT", help="the --telemetry-addr address")
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="repeat every SECONDS (default: one-shot)",
+    )
+    p.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --interval: stop after N snapshots (default: run forever)",
+    )
+    p.add_argument("--limit", type=int, default=10, help="ops shown (default: 10)")
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "trace-merge",
+        help="stitch client+server trace JSONL files into one decomposed tree",
+    )
+    p.add_argument("traces", nargs="+", help="trace JSONL files (client, server, ...)")
+    p.add_argument(
+        "--node",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="node name for the Nth file when it lacks a trace.meta line "
+        "(repeatable, positional)",
+    )
+    p.add_argument(
+        "--json-out",
+        metavar="FILE",
+        help="also write the merged document as JSON ('-' = stdout)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10, help="ops shown in the table (default: 10)"
+    )
+    p.add_argument(
+        "--fail-on-skew",
+        action="store_true",
+        help="exit 1 when a node pair's clocks cannot be reconciled",
+    )
+    p.set_defaults(func=cmd_trace_merge)
 
     p = sub.add_parser(
         "lint", help="run the repro-lint invariant checker (rules RL001-RL011)"

@@ -50,6 +50,7 @@ from repro.store.api import GraphStore, ReclaimStats
 from repro.store.mvstore import MultiVersionStore, VertexRecord
 from repro.store.remote import FetchCosts, FetchLog
 from repro.store.shard import AccessStats, ShardMap
+from repro.telemetry import Telemetry, ensure
 from repro.types import EdgeKey, Label, Timestamp, VertexId
 
 #: records per multi_get RPC when scanning (iter_records, prefetch)
@@ -80,10 +81,12 @@ class NetStoreClient(GraphStore):
         num_shards: int = 8,
         graph=None,
         ts: Timestamp = 1,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.costs = costs
         self.cache_capacity = cache_capacity
         self.log = FetchLog()
+        self.telemetry = ensure(telemetry)
         self._lock = threading.Lock()
         self._cache: Dict[VertexId, VertexRecord] = {}
         self._updated_memo: Optional[Tuple[Timestamp, Dict[EdgeKey, bool]]] = None
@@ -95,7 +98,9 @@ class NetStoreClient(GraphStore):
                 if graph is not None
                 else MultiVersionStore(num_shards=num_shards)
             )
-            self._server = StoreServer(inner).start()
+            # the embedded loopback server shares this process's telemetry,
+            # so its server spans land in the same trace file as the client's
+            self._server = StoreServer(inner, telemetry=telemetry).start()
             host, port = self._server.address
         else:
             host, port = (
@@ -103,10 +108,16 @@ class NetStoreClient(GraphStore):
             )
             load_graph = graph  # external server: bulk-load over the wire
         self._rpc = RpcClient(
-            host, port, deadline=deadline, retry=retry, pool_size=pool_size
+            host,
+            port,
+            deadline=deadline,
+            retry=retry,
+            pool_size=pool_size,
+            telemetry=telemetry,
         )
         hello = self._rpc.call("hello", {})
         self._session: int = hello["session"]
+        self.server_features: Tuple[str, ...] = tuple(hello.get("features") or ())
         self._seq = 0
         self._latest: Timestamp = decode_timestamp(hello["latest_ts"])
         self.shards = ShardMap(hello["num_shards"])
@@ -129,6 +140,16 @@ class NetStoreClient(GraphStore):
     def net_log(self) -> NetLog:
         """Wire-level truth: RPCs, retries, deadline hits, real bytes."""
         return self._rpc.log
+
+    def take_net_delta(self) -> NetLog:
+        """Wire activity since the last take (see
+        :meth:`~repro.net.rpc.RpcClient.take_log_delta`).
+
+        This is what a process worker ships back per task: deltas
+        partition the reconnected client's activity, so the parent can
+        accumulate them without resetting or double-counting.
+        """
+        return self._rpc.take_log_delta()
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -54,7 +54,8 @@ from repro.net.frames import (
     encode_frame,
     read_frame,
 )
-from repro.net.wire import decode_payload, encode_payload
+from repro.net.wire import decode_payload, encode_payload, encode_trace_context
+from repro.telemetry import Telemetry, ensure
 
 #: default per-attempt deadline (seconds)
 DEFAULT_DEADLINE = 5.0
@@ -102,6 +103,23 @@ class NetLog:
     def observe_latency(self, seconds: float) -> None:
         if len(self.latencies_s) < LATENCY_SAMPLE_CAP:
             self.latencies_s.append(seconds)
+
+    def merge(self, other: "NetLog") -> None:
+        """Fold another log's counts into this one (commutative on counts).
+
+        Latency samples are appended up to the shared reservoir cap, so a
+        merged log obeys the same bound as a live one.
+        """
+        self.rpcs += other.rpcs
+        self.retries += other.retries
+        self.deadline_hits += other.deadline_hits
+        self.bytes_sent += other.bytes_sent
+        self.bytes_received += other.bytes_received
+        for op, count in other.per_op.items():
+            self.per_op[op] = self.per_op.get(op, 0) + count
+        room = LATENCY_SAMPLE_CAP - len(self.latencies_s)
+        if room > 0:
+            self.latencies_s.extend(other.latencies_s[:room])
 
 
 class _Connection:
@@ -157,6 +175,7 @@ class RpcClient:
         clock=time.monotonic,
         sleep=time.sleep,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be positive")
@@ -167,6 +186,9 @@ class RpcClient:
         self.pool_size = pool_size
         self.max_payload = max_payload
         self.log = NetLog()
+        self.telemetry = ensure(telemetry)
+        self._log_base = NetLog()
+        self._latency_base = 0
         self._clock = clock
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random(0x7E55E7AC)
@@ -211,6 +233,44 @@ class RpcClient:
         for conn in idle:
             conn.close()
 
+    # -- accounting --------------------------------------------------------
+
+    def take_log_delta(self) -> NetLog:
+        """Wire-level activity since the last take, as a fresh :class:`NetLog`.
+
+        The baseline advances atomically with the read (one lock covers
+        both), so consecutive takes partition the client's activity: every
+        RPC is reported exactly once across all deltas.  This is how
+        process workers ship their reconnected clients' wire counts back
+        without double-counting (see
+        :func:`repro.telemetry.bridge.net_delta_to_registry`).
+        """
+        with self._lock:
+            log, base = self.log, self._log_base
+            delta = NetLog(
+                rpcs=log.rpcs - base.rpcs,
+                retries=log.retries - base.retries,
+                deadline_hits=log.deadline_hits - base.deadline_hits,
+                bytes_sent=log.bytes_sent - base.bytes_sent,
+                bytes_received=log.bytes_received - base.bytes_received,
+                per_op={
+                    op: count - base.per_op.get(op, 0)
+                    for op, count in log.per_op.items()
+                    if count - base.per_op.get(op, 0)
+                },
+                latencies_s=log.latencies_s[self._latency_base :],
+            )
+            self._log_base = NetLog(
+                rpcs=log.rpcs,
+                retries=log.retries,
+                deadline_hits=log.deadline_hits,
+                bytes_sent=log.bytes_sent,
+                bytes_received=log.bytes_received,
+                per_op=dict(log.per_op),
+            )
+            self._latency_base = len(log.latencies_s)
+        return delta
+
     # -- the call path -----------------------------------------------------
 
     def call(
@@ -232,13 +292,61 @@ class RpcClient:
         budget = self.deadline if deadline is None else deadline
         attempts = max(1, self.retry.max_attempts)
         last: Optional[TransportError] = None
+        # The rpc.call span is recorded manually rather than via
+        # ``with tracer.span(...)``: the span id must cross the wire before
+        # the span completes, and the manual path costs two short lock
+        # acquisitions per call instead of a Span allocation plus stack
+        # traffic (see Tracer.open_wire_span / record_completed) — the
+        # difference is most of the tracing-enabled overhead the
+        # net_trace_overhead benchmark guards.
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
+        trace = None
+        span_id = 0
+        parent_id: Optional[int] = None
+        call_start = 0.0
+        if traced:
+            span_id, parent_id = tracer.open_wire_span()
+            trace = encode_trace_context(tracer.trace_id, span_id, tracer.node or "")
+            call_start = tracer.now()
         for attempt in range(attempts):
             if attempt:
                 with self._lock:
                     self.log.retries += 1
-                self._sleep(self.retry.backoff(attempt - 1, self._rng))
+                delay = self.retry.backoff(attempt - 1, self._rng)
+                if traced:
+                    backoff_start = tracer.now()
+                    self._sleep(delay)
+                    tracer.record(
+                        "rpc.retry",
+                        backoff_start,
+                        tracer.now(),
+                        parent_id=span_id,
+                        op=op,
+                        attempt=attempt,
+                        backoff_s=delay,
+                    )
+                    trace = encode_trace_context(
+                        tracer.trace_id, span_id, tracer.node or "", attempt=attempt
+                    )
+                else:
+                    self._sleep(delay)
             try:
-                return self._attempt(op, args, budget, session, seq)
+                result = self._attempt(op, args, budget, session, seq, trace)
+                if traced:
+                    tracer.record_completed(
+                        [
+                            (
+                                span_id,
+                                parent_id,
+                                "rpc.call",
+                                call_start,
+                                tracer.now(),
+                                {"op": op, "attempts": attempt + 1},
+                            )
+                        ]
+                    )
+                return result
             except DeadlineExceeded as exc:
                 with self._lock:
                     self.log.deadline_hits += 1
@@ -246,6 +354,23 @@ class RpcClient:
             except TransportError as exc:
                 last = exc
         assert last is not None
+        if traced:
+            tracer.record_completed(
+                [
+                    (
+                        span_id,
+                        parent_id,
+                        "rpc.call",
+                        call_start,
+                        tracer.now(),
+                        {
+                            "op": op,
+                            "attempts": attempts,
+                            "error": type(last).__name__,
+                        },
+                    )
+                ]
+            )
         raise RetriesExhausted(attempts, last)
 
     def _attempt(
@@ -255,6 +380,7 @@ class RpcClient:
         budget: float,
         session: Optional[int],
         seq: Optional[int],
+        trace: Optional[List[Any]] = None,
     ) -> Any:
         start = self._clock()
         deadline_at = start + budget
@@ -270,6 +396,9 @@ class RpcClient:
             if seq is not None:
                 message["session"] = session
                 message["seq"] = seq
+            if trace is not None:
+                # absent-field compatibility: old servers ignore unknown keys
+                message["trace"] = trace
             frame = encode_frame(MessageType.REQUEST, encode_payload(message))
             conn.send(frame)
             with self._lock:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TesseractError
@@ -39,20 +40,27 @@ from repro.net.frames import (
     encode_frame,
     read_frame,
 )
+from repro.net.rpc import LATENCY_SAMPLE_CAP
 from repro.net.wire import (
     decode_payload,
+    decode_trace_context,
     encode_payload,
     encode_reclaim_stats,
     encode_record,
     encode_updated_keys,
 )
 from repro.store.api import GraphStore
+from repro.telemetry import MetricsRegistry, Telemetry, ensure
+from repro.telemetry.bridge import NET_LATENCY_BUCKETS, store_to_registry
 
 #: write results remembered per session for retry deduplication
 DEDUP_WINDOW = 64
 
 #: most records one multi_get may request
 MAX_BATCH = 1024
+
+#: wire capabilities this server advertises in the ``hello`` response
+SERVER_FEATURES = ("trace",)
 
 
 class StoreServer:
@@ -72,16 +80,27 @@ class StoreServer:
         *,
         max_payload: int = MAX_PAYLOAD,
         max_batch: int = MAX_BATCH,
+        telemetry: Optional[Telemetry] = None,
+        clock=time.monotonic,
     ) -> None:
         self.store = store
         self.max_payload = max_payload
         self.max_batch = max_batch
+        self.telemetry = ensure(telemetry)
+        self._clock = clock
         self._lock = threading.RLock()  # re-entrant: ops run under dispatch
         self._threads: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
         self._next_session = 0
         # session id -> {seq: result}, insertion-ordered for pruning
         self._applied: Dict[int, Dict[int, Any]] = {}
+        # always-on ops accounting (plain dicts under self._lock; projected
+        # into a fresh MetricsRegistry only at scrape time)
+        self._op_requests: Dict[str, int] = {}
+        self._op_errors: Dict[str, int] = {}
+        self._op_latencies: Dict[str, List[float]] = {}
+        self._dedup_replays = 0
+        self._inflight = 0
         self._closed = False
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -173,26 +192,131 @@ class StoreServer:
         op = request.get("op")
         handler = self._ops.get(op)
         if handler is None:
+            with self._lock:
+                key = str(op)
+                self._op_errors[key] = self._op_errors.get(key, 0) + 1
             return self._error(req_id, "UnknownOperationError", f"unknown op {op!r}")
         args = request.get("args") or {}
         session = request.get("session")
         seq = request.get("seq")
+        # Server spans are recorded manually after the fact (see
+        # Tracer.record_completed): the dispatch already brackets the work
+        # with clock readings, so the traced path adds two short lock
+        # acquisitions per RPC instead of two Span context managers.
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
+        # absent-field compatibility: pre-tracing clients send no "trace"
+        # key, and a malformed one decodes to None — either way the RPC
+        # proceeds, its server span simply unparented.
+        rctx = decode_trace_context(request.get("trace")) if traced else None
+        start = self._clock()
+        t_start = tracer.now() if traced else 0.0
+        with self._lock:
+            self._inflight += 1
+            self._op_requests[op] = self._op_requests.get(op, 0) + 1
+        ok = False
+        replayed = False
+        error_name: Optional[str] = None
+        child = ""
+        s_start = s_end = 0.0
         try:
-            with self._lock:
-                if seq is not None and session is not None:
-                    applied = self._applied.setdefault(session, {})
-                    if seq in applied:
-                        result = applied[seq]  # retried write: replay result
+            if traced:
+                s_start = tracer.now()
+            try:
+                with self._lock:
+                    if seq is not None and session is not None:
+                        applied = self._applied.setdefault(session, {})
+                        if seq in applied:
+                            # retried write: replay remembered result
+                            child = "dedup_replay"
+                            result = applied[seq]
+                            replayed = True
+                        else:
+                            child = "store." + op
+                            result = handler(args)
+                            applied[seq] = result
+                            while len(applied) > DEDUP_WINDOW:
+                                applied.pop(next(iter(applied)))
                     else:
+                        child = "store." + op
                         result = handler(args)
-                        applied[seq] = result
-                        while len(applied) > DEDUP_WINDOW:
-                            applied.pop(next(iter(applied)))
-                else:
-                    result = handler(args)
+            finally:
+                if traced:
+                    s_end = tracer.now()
         except (TesseractError, KeyError, ValueError, TypeError) as exc:
-            return self._error(req_id, type(exc).__name__, str(exc))
-        return MessageType.RESPONSE, {"id": req_id, "result": result}
+            error_name = type(exc).__name__
+            return self._error(req_id, error_name, str(exc))
+        else:
+            ok = True
+            return MessageType.RESPONSE, {"id": req_id, "result": result}
+        finally:
+            elapsed = self._clock() - start
+            if traced:
+                self._record_rpc_spans(
+                    tracer,
+                    op,
+                    rctx,
+                    t_start,
+                    s_start,
+                    s_end,
+                    child,
+                    seq if replayed else None,
+                    error_name,
+                )
+            with self._lock:
+                self._inflight -= 1
+                if not ok:
+                    self._op_errors[op] = self._op_errors.get(op, 0) + 1
+                if replayed:
+                    self._dedup_replays += 1
+                samples = self._op_latencies.setdefault(op, [])
+                if len(samples) < LATENCY_SAMPLE_CAP:
+                    samples.append(elapsed)
+
+    def _record_rpc_spans(
+        self,
+        tracer: Any,
+        op: str,
+        rctx: Optional[Tuple[str, int, str, int, int]],
+        t_start: float,
+        s_start: float,
+        s_end: float,
+        child: str,
+        replay_seq: Optional[int],
+        error_name: Optional[str],
+    ) -> None:
+        """Record the rpc.server span and its store/replay child post-hoc.
+
+        The server span is a *remote-parented root*: its logical parent is
+        the client's rpc.call span in another process, carried in ``rctx``
+        and recorded as ``trace_id``/``remote_parent`` attrs for the merge
+        tool; locally it parents nowhere (requests without a usable trace
+        context stay plain roots).  ``child`` is empty only when dispatch
+        failed before reaching the store (e.g. an unhashable session id),
+        in which case just the server span is recorded.  The store child's
+        interval includes store-lock serialization — waiting for the store
+        *is* part of serving the request.
+        """
+        t_end = tracer.now()
+        if rctx is not None:
+            attrs: Dict[str, Any] = {
+                "op": op,
+                "attempt": rctx[4],
+                "trace_id": rctx[0],
+                "remote_parent": {"node": rctx[2], "span_id": rctx[1]},
+            }
+        else:
+            attrs = {"op": op, "attempt": 0}
+        if error_name is not None:
+            attrs["error"] = error_name
+        first = tracer.reserve_ids(2)
+        spans = [(first, None, "rpc.server", t_start, t_end, attrs)]
+        if child:
+            child_attrs: Dict[str, Any] = {}
+            if child == "dedup_replay":
+                child_attrs = {"op": op, "seq": replay_seq}
+            spans.append((first + 1, first, child, s_start, s_end, child_attrs))
+        tracer.record_completed(spans)
 
     def _error(
         self, req_id: Any, remote_type: str, message: str
@@ -210,6 +334,70 @@ class StoreServer:
             self._send(conn, *self._error(req_id, type(exc).__name__, str(exc)))
         except OSError:
             pass
+
+    # -- ops accounting ------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One lock-consistent copy of the server's ops accounting.
+
+        The shape is JSON-safe (this is also what the ``/statz`` telemetry
+        endpoint returns, and what ``repro top`` renders).
+        """
+        with self._lock:
+            return {
+                "requests": dict(self._op_requests),
+                "errors": dict(self._op_errors),
+                "dedup_replays": self._dedup_replays,
+                "inflight": self._inflight,
+                "sessions": len(self._applied),
+                "latencies_s": {
+                    op: list(samples)
+                    for op, samples in self._op_latencies.items()
+                },
+            }
+
+    def collect_registry(self) -> MetricsRegistry:
+        """A fresh registry projecting the server + store state at scrape time.
+
+        Built per scrape (never cached) so each ``/metrics`` response is a
+        self-consistent snapshot; request/error counts are true counters,
+        latencies feed per-op histograms, and the served store's own
+        ``repro_store_*`` / cache gauges ride along.
+        """
+        snap = self.stats_snapshot()
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "repro_server_requests_total", "RPC requests dispatched, by op"
+        )
+        for op in sorted(snap["requests"]):
+            requests.labels(op=op).set_total(snap["requests"][op])
+        errors = registry.counter(
+            "repro_server_errors_total", "RPC requests answered with an error, by op"
+        )
+        for op in sorted(snap["errors"]):
+            errors.labels(op=op).set_total(snap["errors"][op])
+        registry.counter(
+            "repro_server_dedup_replays_total",
+            "retried writes answered from the dedup window (not re-executed)",
+        ).set_total(snap["dedup_replays"])
+        registry.gauge(
+            "repro_server_inflight_requests", "requests currently being served"
+        ).set(snap["inflight"])
+        registry.gauge(
+            "repro_server_sessions", "client sessions with dedup state"
+        ).set(snap["sessions"])
+        latency = registry.histogram(
+            "repro_server_request_seconds",
+            "server-side request handling latency, by op (capped sample)",
+            buckets=NET_LATENCY_BUCKETS,
+        )
+        for op in sorted(snap["latencies_s"]):
+            child = latency.labels(op=op)
+            for sample in snap["latencies_s"][op]:
+                child.observe(sample)
+        with self._lock:  # store reads are serialized like any dispatch
+            store_to_registry(registry, self.store)
+        return registry
 
     # -- the operation table -----------------------------------------------
 
@@ -272,6 +460,7 @@ class StoreServer:
             "kind": self.store.kind,
             "num_shards": self.store.shards.num_shards,
             "latest_ts": self.store.latest_timestamp,
+            "features": list(SERVER_FEATURES),
         }
 
     def _op_multi_get(self, args: dict) -> Dict[str, Optional[dict]]:

@@ -11,9 +11,18 @@ payload shape changes bump :data:`~repro.net.frames.PROTOCOL_VERSION`.
 Three message shapes travel in frames:
 
 * ``REQUEST``  — ``{"id": n, "op": str, "args": {...}}`` plus optional
-  ``"session"``/``"seq"`` for exactly-once writes;
+  ``"session"``/``"seq"`` for exactly-once writes and optional
+  ``"trace"`` carrying the caller's trace context (see
+  :func:`encode_trace_context`);
 * ``RESPONSE`` — ``{"id": n, "result": ...}``;
 * ``ERROR``    — ``{"id": n, "error": {"type": str, "message": str}}``.
+
+The ``"trace"`` key rides the *graceful absent-field* compatibility
+path rather than a version bump: servers read request fields with
+``.get`` and ignore unknown keys, so a tracing client interoperates
+with a pre-tracing server (the context is simply dropped) and vice
+versa.  Servers that understand it advertise ``"features": ["trace"]``
+in the hello response.
 
 The codecs below translate the store's value types to and from JSON-safe
 structures.  The edge-version list format is deliberately the same
@@ -49,6 +58,53 @@ def decode_payload(payload: bytes) -> Dict[str, Any]:
     if not isinstance(message, dict):
         raise ProtocolError("frame payload is not a JSON object")
     return message
+
+
+# -- trace context -----------------------------------------------------------
+
+
+def encode_trace_context(
+    trace_id: str, span_id: int, node: str, flags: int = 1, attempt: int = 0
+) -> List[Any]:
+    """The wire form of a trace context (the optional ``"trace"`` key).
+
+    A fixed ``[trace_id, span_id, node, flags, attempt]`` quintuple — the
+    same positional-list convention the edge-version quads use, and a
+    fraction of the bytes (and of the ``json`` encode/decode time) a keyed
+    object would cost on a field that rides **every** request.  ``attempt``
+    is the zero-based retry attempt number of the request carrying this
+    context; the server records it on its span so retried RPCs are
+    attributable per attempt in a merged trace.
+    """
+    return [trace_id, span_id, node, flags, attempt]
+
+
+def decode_trace_context(value: Any) -> Optional[Tuple[str, int, str, int, int]]:
+    """Validate a request's ``"trace"`` field; tolerant of absence.
+
+    Returns the ``(trace_id, span_id, node, flags, attempt)`` quintuple,
+    or ``None`` when the field is absent or malformed — a bad trace
+    context must never fail the RPC it rides on (tracing is best-effort
+    observability, not part of the store contract).  The two trailing
+    fields are optional on the wire and individually fall back to their
+    defaults when malformed.
+    """
+    if type(value) is not list or not 3 <= len(value) <= 5:
+        return None
+    trace_id, span_id, node = value[0], value[1], value[2]
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    if not isinstance(span_id, int) or isinstance(span_id, bool):
+        return None
+    if not isinstance(node, str):
+        return None
+    flags = value[3] if len(value) > 3 else 1
+    if not isinstance(flags, int) or isinstance(flags, bool):
+        flags = 1
+    attempt = value[4] if len(value) > 4 else 0
+    if not isinstance(attempt, int) or isinstance(attempt, bool):
+        attempt = 0
+    return trace_id, span_id, node, flags, attempt
 
 
 # -- record-map types --------------------------------------------------------

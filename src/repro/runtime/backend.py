@@ -62,6 +62,7 @@ from repro.telemetry import (
     Telemetry,
     ensure,
 )
+from repro.telemetry.bridge import net_delta_to_registry
 from repro.types import EdgeUpdate, MatchDelta, TaskTrace, Timestamp
 
 #: One unit of backend work: explore a single edge update at a timestamp.
@@ -333,6 +334,12 @@ def _run_process_task(task: Tuple[int, Timestamp, EdgeUpdate]):
         profile=profile,
     )
     deltas = engine.process_update(ts, update)
+    if _WORKER_TELEMETRY_ON:
+        # Ship this reconnected client's wire activity since the last task
+        # as additive gauges: the pickle-reconnect gave this worker a fresh
+        # NetLog, so without the per-task delta the worker's RPC counts
+        # would silently vanish from the session's repro_net_* gauges.
+        net_delta_to_registry(telemetry.registry, _WORKER_STORE)
     # With telemetry off the null tracer ships an empty span list and the
     # null registry merges as a no-op — one return shape either way.  The
     # profile slot likewise ships the inert null object when profiling is

@@ -99,6 +99,7 @@ class StreamingSession:
                 graph=initial_graph,
                 fetch_costs=fetch_costs,
                 addr=store_addr,
+                telemetry=telemetry,
             )
             self._owns_store = True
         self.queue = WorkQueue(telemetry=self.telemetry)

@@ -293,6 +293,7 @@ def make_store(
     fetch_costs=None,
     cache_size: Optional[int] = None,
     addr: Optional[str] = None,
+    telemetry=None,
 ) -> GraphStore:
     """Construct a store by registry name (see :data:`STORE_NAMES`).
 
@@ -302,7 +303,9 @@ def make_store(
     ``fetch_costs`` as its simulated latency model.  The ``net`` kind
     reads and writes over real TCP: with ``addr`` (``"host:port"``) it
     connects to a running ``repro serve-store`` server, without one it
-    spawns an embedded loopback server of its own.
+    spawns an embedded loopback server of its own.  ``telemetry`` (only
+    meaningful for ``net``) traces the client's RPCs — and propagates
+    trace context to the server on every request.
     """
     from repro.store.mvstore import MultiVersionStore
     from repro.store.sharded import ShardedStore
@@ -327,6 +330,7 @@ def make_store(
             num_shards=num_shards,
             graph=graph,
             ts=ts,
+            telemetry=telemetry,
         )
     elif kind == "remote":
         from repro.store.remote import FetchCosts, RemoteStoreClient

@@ -64,6 +64,7 @@ from repro.telemetry.trace import (
     NULL_TRACER,
     Span,
     SpanRecord,
+    TraceContext,
     Tracer,
 )
 
@@ -76,6 +77,7 @@ __all__ = [
     "Span",
     "NullSpan",
     "SpanRecord",
+    "TraceContext",
     "NULL_TRACER",
     "NULL_SPAN",
     "MetricsRegistry",
@@ -108,8 +110,13 @@ class Telemetry:
         tracer: Optional[Tracer] = None,
         registry: Optional[MetricsRegistry] = None,
         trace_capacity: int = 8192,
+        node: Optional[str] = None,
     ) -> None:
-        self.tracer = tracer if tracer is not None else Tracer(capacity=trace_capacity)
+        self.tracer = (
+            tracer
+            if tracer is not None
+            else Tracer(capacity=trace_capacity, node=node)
+        )
         self.registry = registry if registry is not None else MetricsRegistry()
 
 

@@ -144,14 +144,40 @@ def net_to_registry(registry: "MetricsRegistry", store: "GraphStore") -> None:
     No-op for stores without a ``net_log`` (every in-process kind), so the
     store bridge can call it unconditionally.  Latency samples become the
     ``repro_net_rpc_seconds`` histogram; sampling is capped client-side
-    (:data:`~repro.net.rpc.LATENCY_SAMPLE_CAP`), and re-bridging rebuilds
-    the same histogram because the sample list is cumulative.
+    (:data:`~repro.net.rpc.LATENCY_SAMPLE_CAP`).
+
+    The gauges are bridged **additively** (``inc`` onto a freshly built
+    scrape registry, never ``set``): process workers ship their
+    reconnected clients' wire activity as gauge values in their per-task
+    registries, which the session merges in *before* this bridge runs —
+    a ``set`` here would silently clobber those worker counts with the
+    parent client's view alone (the PR 9 bug sweep finding).
     """
     net_log = getattr(store, "net_log", None)
     if net_log is None:
         return
+    _net_log_into(registry, net_log)
+
+
+def net_delta_to_registry(registry: "MetricsRegistry", store: "GraphStore") -> None:
+    """Ship a wire-backed store's activity *since the last take*.
+
+    The worker-side half of the net-accounting contract: called once per
+    process task against the worker's reconnected client, it consumes the
+    client's :meth:`~repro.net.client.NetStoreClient.take_net_delta` and
+    records it additively, so merged task registries sum to exactly the
+    wire truth (every RPC counted once, none lost to reconnection).
+    No-op for stores without a delta source.
+    """
+    take = getattr(store, "take_net_delta", None)
+    if take is None:
+        return
+    _net_log_into(registry, take())
+
+
+def _net_log_into(registry: "MetricsRegistry", net_log) -> None:
     for key, help_text in NET_GAUGES:
-        registry.gauge(f"repro_net_{key}", help_text).set(
+        registry.gauge(f"repro_net_{key}", help_text).inc(
             float(getattr(net_log, key))
         )
     histogram = registry.histogram(

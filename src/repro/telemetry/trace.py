@@ -18,6 +18,18 @@ Two properties make the tracer safe to wire through hot paths:
   span, re-assigning ids so the merged trace stays consistent.  This is
   how the process backend ships its per-task spans back over the same
   channel that carries merged metrics.
+
+For *cross-process* traces the tracer additionally carries an identity:
+a ``trace_id`` naming the whole run and an optional ``node`` naming this
+process ("client", "server", ...).  :meth:`Span.context` captures a live
+span as a :class:`TraceContext` that can travel on the wire
+(:mod:`repro.net.wire`), and ``Tracer.span(..., remote=ctx)`` opens a
+span whose *logical* parent lives in another process — the remote parent
+is recorded in the span's attributes, and ``repro trace-merge``
+(:mod:`repro.telemetry.merge`) stitches the per-node JSONL files back
+into one tree.  Exports from a tracer with a ``node`` identity start
+with a ``trace.meta`` line carrying that identity; tracers without one
+export byte-identically to earlier releases.
 """
 
 from __future__ import annotations
@@ -25,12 +37,38 @@ from __future__ import annotations
 import json
 import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, TextIO
 
 
-@dataclass
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of a live span: what crosses the wire.
+
+    ``span_id`` is only unique *within* ``node``, so the pair
+    ``(node, span_id)`` is the globally unique parent reference the merge
+    tool resolves.  ``flags`` is a small bitfield reserved for sampling
+    decisions (0 = default, bit 0 = sampled); it is propagated verbatim.
+    """
+
+    trace_id: str
+    span_id: int
+    node: str
+    flags: int = 1
+
+    def parent_ref(self) -> Dict[str, Any]:
+        """The JSON-safe remote-parent reference recorded on child spans."""
+        return {"node": self.node, "span_id": self.span_id}
+
+
+def _new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (os.urandom-backed, not the global RNG)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(slots=True)
 class SpanRecord:
     """One completed span, as stored in the ring buffer."""
 
@@ -65,6 +103,7 @@ class Span:
         "name",
         "attrs",
         "anchored",
+        "remote",
         "span_id",
         "parent_id",
         "start",
@@ -72,12 +111,18 @@ class Span:
     )
 
     def __init__(
-        self, tracer: "Tracer", name: str, attrs: Dict[str, Any], anchored: bool
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        anchored: bool,
+        remote: Optional[TraceContext] = None,
     ) -> None:
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
         self.anchored = anchored
+        self.remote = remote
         self.span_id = 0
         self.parent_id: Optional[int] = None
         self.start = 0.0
@@ -87,6 +132,18 @@ class Span:
         """Attach attributes to the span while it is open."""
         self.attrs.update(attrs)
         return self
+
+    def context(self) -> TraceContext:
+        """This live span's portable :class:`TraceContext`.
+
+        Only meaningful between ``__enter__`` and ``__exit__`` (the span id
+        is assigned on entry).
+        """
+        return TraceContext(
+            trace_id=self.tracer.trace_id,
+            span_id=self.span_id,
+            node=self.tracer.node or "",
+        )
 
     def __enter__(self) -> "Span":
         self.tracer._enter(self)
@@ -107,11 +164,23 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, capacity: int = 8192, clock=time.perf_counter) -> None:
+    def __init__(
+        self,
+        capacity: int = 8192,
+        clock=time.perf_counter,
+        *,
+        node: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._clock = clock
+        #: process identity stamped on exports (``trace.meta``); ``None``
+        #: keeps exports byte-identical to tracers predating trace contexts
+        self.node = node
+        #: run-wide trace id propagated across the wire with every RPC
+        self.trace_id = trace_id if trace_id is not None else _new_trace_id()
         self._ring: "deque[SpanRecord]" = deque(maxlen=capacity)
         self._local = threading.local()
         self._lock = threading.Lock()
@@ -125,13 +194,24 @@ class Tracer:
 
     # -- span lifecycle ----------------------------------------------------
 
-    def span(self, name: str, *, anchored: bool = False, **attrs: Any) -> Span:
+    def span(
+        self,
+        name: str,
+        *,
+        anchored: bool = False,
+        remote: Optional[TraceContext] = None,
+        **attrs: Any,
+    ) -> Span:
         """Open a new span; enter the returned object as a context manager.
 
         ``anchored=True`` makes this span the parent of any span opened on
-        a thread with an empty stack while it is active.
+        a thread with an empty stack while it is active.  ``remote`` makes
+        the span a *remote-parented* root: its logical parent is a span in
+        another process, recorded as ``trace_id``/``remote_parent``
+        attributes for the merge tool; locally it parents nowhere (so a
+        server's RPC spans never dangle from an unrelated local anchor).
         """
-        return Span(self, name, attrs, anchored)
+        return Span(self, name, attrs, anchored, remote)
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -152,10 +232,18 @@ class Tracer:
         with self._lock:
             self._next_id += 1
             span.span_id = self._next_id
-            span.parent_id = stack[-1].span_id if stack else self._anchor
+            if span.remote is not None:
+                # Remote-parented root: the logical parent lives in another
+                # process, so the span must not attach to any local span.
+                span.parent_id = None
+            else:
+                span.parent_id = stack[-1].span_id if stack else self._anchor
             if span.anchored:
                 span._prev_anchor = self._anchor
                 self._anchor = span.span_id
+        if span.remote is not None:
+            span.attrs.setdefault("trace_id", span.remote.trace_id)
+            span.attrs.setdefault("remote_parent", span.remote.parent_ref())
         stack.append(span)
         span.start = self._clock()
 
@@ -179,6 +267,65 @@ class Tracer:
                 self.dropped_spans += 1
             self._ring.append(record)
             self.spans_recorded += 1
+
+    # -- manual recording (the wire hot path) ------------------------------
+    #
+    # `with tracer.span(...)` costs a Span allocation, thread-local stack
+    # traffic, and two lock acquisitions per span — fine for window/task
+    # granularity, too heavy for a per-RPC path that opens three spans per
+    # call.  The RPC client and server instead time their work with clock
+    # readings they already take and append finished records through these
+    # primitives: one lock covers id allocation + parent resolution, one
+    # more covers the whole batch append.
+
+    def now(self) -> float:
+        """One reading of this tracer's span clock (for manual records)."""
+        return self._clock()
+
+    def open_wire_span(self) -> "tuple[int, Optional[int]]":
+        """``(span_id, parent_id)`` for a manually recorded span.
+
+        The id is allocated now because it must cross the wire before the
+        span completes; the parent is whatever a ``span()`` opened on this
+        thread would get (stack top, else the anchor).  The stack is this
+        thread's own and read lock-free; the id bump and anchor read share
+        one lock acquisition.
+        """
+        stack = getattr(self._local, "stack", None)
+        with self._lock:
+            self._next_id += 1
+            if stack:
+                return self._next_id, stack[-1].span_id
+            return self._next_id, self._anchor
+
+    def reserve_ids(self, n: int) -> int:
+        """Allocate ``n`` consecutive span ids; returns the first."""
+        with self._lock:
+            first = self._next_id + 1
+            self._next_id += n
+            return first
+
+    def record_completed(
+        self, spans: "List[tuple[int, Optional[int], str, float, float, Dict[str, Any]]]"
+    ) -> None:
+        """Append pre-timed spans in one lock acquisition.
+
+        Each entry is a ``(span_id, parent_id, name, start, end, attrs)``
+        tuple; callers take span ids from :meth:`open_wire_span` /
+        :meth:`reserve_ids` (the :class:`SpanRecord` itself is only ever
+        built here, so the ring and the id sequence stay the tracer's).
+        Eviction accounting matches the one-at-a-time paths exactly.
+        """
+        records = [
+            SpanRecord(span_id, parent_id, name, start, end, attrs)
+            for span_id, parent_id, name, start, end, attrs in spans
+        ]
+        with self._lock:
+            overflow = len(self._ring) + len(records) - self.capacity
+            if overflow > 0:
+                self.dropped_spans += overflow
+            self._ring.extend(records)
+            self.spans_recorded += len(records)
 
     def record(
         self,
@@ -258,54 +405,78 @@ class Tracer:
             self._ring.clear()
             self.dropped_spans = 0
 
-    def _header_line(self) -> Optional[str]:
-        """A ``trace.header`` JSON line, present only on truncated traces.
+    def _export_snapshot(self) -> "tuple[List[str], int]":
+        """One lock-scoped, self-consistent snapshot rendered to JSON lines.
 
-        Emitted ahead of the spans when the ring evicted anything, so a
-        consumer can tell a complete trace from a truncated one; complete
-        traces stay headerless (and byte-identical to earlier exports).
+        The ring contents, the truncation counters, and the identity header
+        are all read under a single lock acquisition, so an export racing
+        concurrent span recording can neither tear a line nor pair a stale
+        ``dropped_spans`` count with a newer ring.  Returns ``(lines,
+        span_count)`` where ``span_count`` excludes meta/header lines.
+
+        Line order: ``trace.meta`` (only for tracers with a ``node``
+        identity), then ``trace.header`` (only for truncated traces — so
+        complete traces from identity-less tracers stay byte-identical to
+        earlier releases), then the spans, oldest first.
         """
-        if not self.dropped_spans:
-            return None
-        return json.dumps(
-            {
-                "name": "trace.header",
-                "dropped_spans": self.dropped_spans,
-                "spans_recorded": self.spans_recorded,
-                "capacity": self.capacity,
-            },
-            sort_keys=True,
+        with self._lock:
+            records = list(self._ring)
+            dropped = self.dropped_spans
+            recorded = self.spans_recorded
+        lines: List[str] = []
+        if self.node is not None:
+            lines.append(
+                json.dumps(
+                    {
+                        "name": "trace.meta",
+                        "node": self.node,
+                        "trace_id": self.trace_id,
+                        "clock": "monotonic",
+                    },
+                    sort_keys=True,
+                )
+            )
+        if dropped:
+            lines.append(
+                json.dumps(
+                    {
+                        "name": "trace.header",
+                        "dropped_spans": dropped,
+                        "spans_recorded": recorded,
+                        "capacity": self.capacity,
+                    },
+                    sort_keys=True,
+                )
+            )
+        lines.extend(
+            json.dumps(r.to_dict(), sort_keys=True, default=str) for r in records
         )
+        return lines, len(records)
 
     def to_jsonl(self) -> str:
         """The buffered spans as JSON lines (one span per line).
 
-        Truncated traces are prefixed with a ``trace.header`` line carrying
-        ``dropped_spans`` (see :meth:`_header_line`).
+        Truncated traces are prefixed with a ``trace.header`` line, and
+        tracers carrying a ``node`` identity with a ``trace.meta`` line
+        (see :meth:`_export_snapshot`).
         """
-        header = self._header_line()
-        lines = [header] if header is not None else []
-        lines.extend(
-            json.dumps(r.to_dict(), sort_keys=True, default=str)
-            for r in self.records()
-        )
+        lines, _count = self._export_snapshot()
         return "\n".join(lines)
 
     def export_jsonl(self, out: TextIO) -> int:
         """Write the buffered spans as JSON lines; returns spans written.
 
         Like :meth:`to_jsonl`, truncated traces get a leading
-        ``trace.header`` line (not counted in the return value).
+        ``trace.header`` line (not counted in the return value).  The
+        whole export is rendered from one lock-scoped snapshot and written
+        with a single ``out.write``, so concurrent span recording (or a
+        concurrent export to the same stream) can never interleave partial
+        lines.
         """
-        header = self._header_line()
-        if header is not None:
-            out.write(header)
-            out.write("\n")
-        records = self.records()
-        for record in records:
-            out.write(json.dumps(record.to_dict(), sort_keys=True, default=str))
-            out.write("\n")
-        return len(records)
+        lines, count = self._export_snapshot()
+        if lines:
+            out.write("\n".join(lines) + "\n")
+        return count
 
 
 class NullSpan:
@@ -317,6 +488,10 @@ class NullSpan:
 
     def set(self, **attrs: Any) -> "NullSpan":
         return self
+
+    def context(self) -> None:
+        """Disabled spans have no portable context (nothing to propagate)."""
+        return None
 
     def __enter__(self) -> "NullSpan":
         return self
@@ -335,11 +510,32 @@ class NullTracer:
     capacity = 0
     spans_recorded = 0
     dropped_spans = 0
+    node = None
+    trace_id = ""
 
-    def span(self, name: str, *, anchored: bool = False, **attrs: Any) -> NullSpan:
+    def span(
+        self,
+        name: str,
+        *,
+        anchored: bool = False,
+        remote: Optional[TraceContext] = None,
+        **attrs: Any,
+    ) -> NullSpan:
         return NULL_SPAN
 
     def record(self, name, start, end, parent_id=None, **attrs):
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def open_wire_span(self) -> "tuple[int, Optional[int]]":
+        return 0, None
+
+    def reserve_ids(self, n: int) -> int:
+        return 0
+
+    def record_completed(self, spans) -> None:
         return None
 
     def absorb(self, records, parent_id=None) -> None:

@@ -307,6 +307,50 @@ class TestTelemetryNullObjectRL004:
         """
         assert rules_hit(src, path="src/repro/telemetry/trace.py") == []
 
+    # -- server-span paths (PR 9: repro.net is a hot-path package) ----
+
+    def test_flags_tracer_none_branch_in_net_server(self):
+        src = """
+            def dispatch(self, request, tracer):
+                if tracer is not None:
+                    with tracer.span("rpc.server"):
+                        return self.handle(request)
+                return self.handle(request)
+        """
+        assert rules_hit(src, path="src/repro/net/server.py") == ["RL004"]
+
+    def test_flags_telemetry_none_branch_in_net_rpc(self):
+        src = """
+            def call(self, op, telemetry):
+                if telemetry is None:
+                    return self.attempt(op)
+                with telemetry.tracer.span("rpc.call", op=op):
+                    return self.attempt(op)
+        """
+        assert rules_hit(src, path="src/repro/net/rpc.py") == ["RL004"]
+
+    def test_allows_enabled_gate_on_net_server_spans(self):
+        # the disabled-tracing hot path branches on .enabled (a constant
+        # attribute load), never on identity-vs-None
+        src = """
+            def dispatch(self, request, tracer):
+                remote = None
+                if tracer.enabled:
+                    remote = decode(request.get("trace"))
+                with tracer.span("rpc.server", remote=remote):
+                    return self.handle(request)
+        """
+        assert rules_hit(src, path="src/repro/net/server.py") == []
+
+    def test_allows_coalescing_in_net_client(self):
+        src = """
+            NULL_TELEMETRY = object()
+
+            def bind(telemetry):
+                return telemetry if telemetry is not None else NULL_TELEMETRY
+        """
+        assert rules_hit(src, path="src/repro/net/client.py") == []
+
 
 class TestAlgorithmPurityRL005:
     def test_flags_io_in_filter(self):

@@ -1,0 +1,293 @@
+"""Trace-merge units: stitching, RPC decomposition, and skew detection.
+
+All tests run on synthetic per-node span files with hand-picked
+timestamps, so every decomposition number and skew bound is checked
+against an exact expected value rather than a live clock.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.merge import (
+    load_trace_file,
+    merge_trace_paths,
+    merge_traces,
+)
+
+
+def span(span_id, name, start, end, parent_id=None, **attrs):
+    return {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": start,
+        "end": end,
+        "duration": end - start,
+        "attrs": attrs,
+    }
+
+
+def meta(node, trace_id="feedface00000001"):
+    return json.dumps(
+        {"name": "trace.meta", "node": node, "trace_id": trace_id, "clock": "monotonic"}
+    )
+
+
+def lines(*records):
+    return [r if isinstance(r, str) else json.dumps(r) for r in records]
+
+
+def remote(node, span_id):
+    return {"node": node, "span_id": span_id}
+
+
+class TestLoadTraceFile:
+    def test_meta_line_names_the_node(self):
+        f = load_trace_file(lines(meta("server"), span(1, "rpc.server", 0.0, 1.0)))
+        assert f.node == "server"
+        assert f.trace_id == "feedface00000001"
+        assert len(f.spans) == 1
+        assert f.dropped_spans == 0
+
+    def test_header_line_records_truncation(self):
+        f = load_trace_file(
+            lines(
+                meta("server"),
+                {"name": "trace.header", "dropped_spans": 7, "spans_recorded": 9},
+                span(1, "w", 0.0, 1.0),
+            )
+        )
+        assert f.dropped_spans == 7
+
+    def test_default_node_covers_identityless_files(self):
+        f = load_trace_file(lines(span(1, "w", 0.0, 1.0)), default_node="client")
+        assert f.node == "client"
+        assert f.trace_id == ""
+
+    def test_identityless_file_without_default_is_an_error(self):
+        with pytest.raises(ValueError):
+            load_trace_file(lines(span(1, "w", 0.0, 1.0)))
+
+    def test_blank_lines_are_skipped(self):
+        f = load_trace_file(["", meta("n"), "", json.dumps(span(1, "w", 0, 1)), ""])
+        assert len(f.spans) == 1
+
+
+class TestStitching:
+    def client_server_files(self):
+        client = load_trace_file(
+            lines(
+                meta("client"),
+                span(1, "rpc.call", 0.0, 1.0, op="add_edge", attempts=2),
+                span(2, "rpc.retry", 0.1, 0.2, parent_id=1, op="add_edge", attempt=1),
+                span(3, "rpc.call", 1.5, 1.6, op="ping", attempts=1),
+            )
+        )
+        server = load_trace_file(
+            lines(
+                meta("server"),
+                span(
+                    1,
+                    "rpc.server",
+                    0.3,
+                    0.7,
+                    op="add_edge",
+                    attempt=1,
+                    trace_id="feedface00000001",
+                    remote_parent=remote("client", 1),
+                ),
+                span(2, "store.add_edge", 0.35, 0.6, parent_id=1),
+                # no remote_parent: a pre-tracing client's request
+                span(3, "rpc.server", 2.0, 2.1, op="ping"),
+                # remote parent pointing at a span we never saw
+                span(
+                    4,
+                    "rpc.server",
+                    3.0,
+                    3.1,
+                    op="ping",
+                    remote_parent=remote("client", 99),
+                ),
+            )
+        )
+        return client, server
+
+    def test_cross_node_edges_attach_server_spans_to_their_calls(self):
+        merged = merge_traces(list(self.client_server_files()))
+        assert ("server", 1) in merged.children[("client", 1)]
+        assert ("client", 2) in merged.children[("client", 1)]
+        assert merged.children[("server", 1)] == [("server", 2)]
+        # orphans and unmatched calls stay roots
+        assert ("client", 3) in merged.roots
+        assert ("server", 3) in merged.roots
+        assert ("server", 4) in merged.roots
+
+    def test_decomposition_numbers_are_exact(self):
+        merged = merge_traces(list(self.client_server_files()))
+        row = next(r for r in merged.rpcs if r.op == "add_edge")
+        assert row.client_node == "client"
+        assert row.server_node == "server"
+        assert row.attempts == 2
+        assert row.server_spans == 1
+        assert row.client_s == pytest.approx(1.0)
+        assert row.backoff_s == pytest.approx(0.1)
+        assert row.server_s == pytest.approx(0.4)
+        assert row.store_s == pytest.approx(0.25)
+        assert row.wire_s == pytest.approx(0.5)  # client - backoff - server
+        assert row.server_overhead_s == pytest.approx(0.15)
+
+    def test_unmatched_and_orphan_counts(self):
+        merged = merge_traces(list(self.client_server_files()))
+        assert merged.unmatched_calls == 1  # the ping rpc.call
+        assert merged.orphan_server_spans == 2  # no ref + dangling ref
+
+    def test_dedup_replay_children_are_counted(self):
+        client = load_trace_file(
+            lines(meta("client"), span(1, "rpc.call", 0.0, 1.0, op="add_edge"))
+        )
+        server = load_trace_file(
+            lines(
+                meta("server"),
+                span(
+                    1,
+                    "rpc.server",
+                    0.1,
+                    0.3,
+                    op="add_edge",
+                    remote_parent=remote("client", 1),
+                ),
+                span(2, "store.add_edge", 0.15, 0.25, parent_id=1),
+                span(
+                    3,
+                    "rpc.server",
+                    0.5,
+                    0.7,
+                    op="add_edge",
+                    attempt=1,
+                    remote_parent=remote("client", 1),
+                ),
+                span(4, "dedup_replay", 0.55, 0.6, parent_id=3),
+            )
+        )
+        merged = merge_traces([client, server])
+        (row,) = merged.rpcs
+        assert row.server_spans == 2  # original + retransmit
+        assert row.dedup_replays == 1
+        assert row.server_s == pytest.approx(0.4)
+        assert row.store_s == pytest.approx(0.15)  # store call + replay lookup
+
+    def test_json_document_roundtrips(self):
+        merged = merge_traces(list(self.client_server_files()))
+        doc = json.loads(merged.to_json())
+        assert {n["node"] for n in doc["nodes"]} == {"client", "server"}
+        assert doc["totals"]["rpc_calls"] == 2
+        assert doc["totals"]["matched"] == 1
+        assert doc["unmatched_calls"] == 1
+        assert len(doc["rpcs"]) == 2
+        # deterministic: rendering twice gives identical bytes
+        assert merged.to_json() == merged.to_json()
+
+
+class TestSkew:
+    def files_with_server_intervals(self, intervals):
+        """Client calls at (0,1) and (2,3); server spans at the given times."""
+        client = load_trace_file(
+            lines(
+                meta("client"),
+                span(1, "rpc.call", 0.0, 1.0, op="ping"),
+                span(2, "rpc.call", 2.0, 3.0, op="ping"),
+            )
+        )
+        server = load_trace_file(
+            lines(
+                meta("server"),
+                *[
+                    span(
+                        i + 1,
+                        "rpc.server",
+                        s,
+                        e,
+                        op="ping",
+                        remote_parent=remote("client", i + 1),
+                    )
+                    for i, (s, e) in enumerate(intervals)
+                ],
+            )
+        )
+        return [client, server]
+
+    def test_consistent_offset_is_bounded_not_flagged(self):
+        # one fixed offset of ~+10 s explains both RPCs
+        merged = merge_traces(
+            self.files_with_server_intervals([(10.2, 10.8), (12.2, 12.8)])
+        )
+        (report,) = merged.skew
+        assert report.rpcs == 2
+        assert report.consistent
+        # per-RPC bounds [9.8, 10.2] both times
+        assert report.offset_low == pytest.approx(9.8)
+        assert report.offset_high == pytest.approx(10.2)
+        assert "consistent" in merged.render()
+
+    def test_irreconcilable_offsets_are_flagged(self):
+        # RPC 1 needs an offset near +10, RPC 2 an offset near -1.8:
+        # no single monotonic offset fits, so the pair is skewed
+        merged = merge_traces(
+            self.files_with_server_intervals([(10.2, 10.8), (0.3, 0.8)])
+        )
+        (report,) = merged.skew
+        assert not report.consistent
+        assert report.offset_low > report.offset_high
+        assert "SKEW FLAGGED" in merged.render()
+
+    def test_same_node_pairs_do_not_constrain_an_offset(self):
+        """Embedded mode: client and server spans share one file, one
+        clock — there is no offset to bound."""
+        embedded = load_trace_file(
+            lines(
+                meta("client"),
+                span(1, "rpc.call", 0.0, 1.0, op="ping"),
+                span(
+                    2,
+                    "rpc.server",
+                    0.2,
+                    0.8,
+                    op="ping",
+                    remote_parent=remote("client", 1),
+                ),
+            )
+        )
+        merged = merge_traces([embedded])
+        assert merged.skew == []
+        (row,) = merged.rpcs
+        assert row.server_spans == 1  # still matched and decomposed
+
+
+class TestMergePaths:
+    def test_paths_and_default_nodes_align_positionally(self, tmp_path):
+        client_path = tmp_path / "client.jsonl"
+        server_path = tmp_path / "server.jsonl"
+        client_path.write_text(
+            json.dumps(span(1, "rpc.call", 0.0, 1.0, op="ping")) + "\n"
+        )
+        server_path.write_text(
+            meta("server")
+            + "\n"
+            + json.dumps(
+                span(
+                    1,
+                    "rpc.server",
+                    0.2,
+                    0.8,
+                    op="ping",
+                    remote_parent=remote("client", 1),
+                )
+            )
+            + "\n"
+        )
+        merged = merge_trace_paths(
+            [str(client_path), str(server_path)], default_nodes=["client"]
+        )
+        assert [f.node for f in merged.files] == ["client", "server"]
+        assert merged.totals()["matched"] == 1
