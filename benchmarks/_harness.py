@@ -46,7 +46,7 @@ RESULTS_PATH = Path(__file__).parent / "results.json"
 #: repo-root results file for the current PR's measurements; earlier
 #: BENCH_PR*.json files are kept as the trajectory that
 #: ``benchmarks/check_trajectory.py`` gates against
-BENCH_PATH = Path(__file__).parent.parent / "BENCH_PR9.json"
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_PR10.json"
 
 #: scaled default window size (paper: 100K updates per window)
 WINDOW = 100
@@ -215,7 +215,7 @@ def record(experiment: str, data: Dict) -> None:
     """Merge one experiment's measurements into both results files.
 
     ``benchmarks/results.json`` keeps the cumulative history that
-    EXPERIMENTS.md summarizes; repo-root ``BENCH_PR9.json`` carries the
+    EXPERIMENTS.md summarizes; repo-root ``BENCH_PR10.json`` carries the
     current PR's numbers for the cross-PR trajectory gate.
     """
     _merge_json(RESULTS_PATH, experiment, data)

@@ -1,28 +1,41 @@
-"""Network transport microbenchmark: RPC overhead and batched fetches.
+"""Network transport microbenchmark: RPC overhead, batching, pipelining.
 
 PR 7 put a real TCP path under the store (``repro.net``): framed RPC with
 deadlines and retries, a :class:`StoreServer`, and the wire-backed
-:class:`NetStoreClient`.  Two costs matter for mining over that path:
+:class:`NetStoreClient`.  Three costs matter for mining over that path:
 
 * the **per-call round trip** — every protocol read that misses the
   client cache pays it, so it bounds how chatty exploration can afford
-  to be, and
+  to be,
 * the **batching win** — ``prefetch`` ships one ``multi_get`` frame for
   a whole frontier instead of one ``get_record`` round trip per vertex,
-  which is the lever the paper's fetch-ahead strategy turns.
+  which is the lever the paper's fetch-ahead strategy turns, and
+* the **pipelining + binary win** (PR 10) — fetch-ahead keeps several
+  chunk requests in flight on a pipelined connection while replies ride
+  the struct-packed binary codec, so server-side encoding overlaps
+  client-side decoding across the process boundary instead of running
+  back to back.
 
-Both passes read the identical record set off the identical store, so
-the timing difference is purely wire mechanics.  Loopback numbers are a
-lower bound on real-network gains: batching amortizes per-call latency,
-and loopback latency is as small as it gets.  Results land in the
-current PR's repo-root bench file (see ``_harness.BENCH_PATH``).
+Each comparison reads the identical record set off the identical store,
+so the timing difference is purely wire mechanics.  Loopback numbers
+are a lower bound on real-network gains: batching and pipelining both
+amortize per-call latency, and loopback latency is as small as it gets.
+The pipelining experiment runs the server in a **subprocess** (the
+``serve-store`` CLI): against an in-process loopback server the GIL
+serializes both sides and the overlap cannot show up.  Results land in
+the current PR's repo-root bench file (see ``_harness.BENCH_PATH``).
 """
 
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 from _harness import lj_bench, print_table, record_bench
 
+from repro.graph.generators import erdos_renyi
 from repro.net import NetStoreClient
+from repro.types import EdgeUpdate
 
 ROUNDS = 5
 
@@ -31,6 +44,13 @@ PINGS = 200
 
 #: frontier size fetched per batching round (every vertex cold)
 FRONTIER = 250
+
+#: chunk size for the pipelined fetch-ahead pass — small enough that
+#: several chunks are in flight per frontier, large enough to amortize
+#: per-frame costs
+PIPE_BATCH = 64
+
+SRC = str(Path(__file__).parent.parent / "src")
 
 
 def _time_best(fn):
@@ -107,3 +127,99 @@ def test_net_rpc_overhead(benchmark):
     )
     # a whole-frontier batch must beat per-vertex round trips
     assert speedup > 1.5
+
+
+def _dense_graph():
+    """A denser frontier than ``lj_bench``: the pipelining/codec win
+    scales with per-record payload, and the paper's stores are far
+    denser than the scaled-down mining graphs used elsewhere."""
+    return erdos_renyi(600, 12000, seed=7)
+
+
+def test_net_pipeline_fetch_ahead(benchmark):
+    """Pipelined + binary fetch-ahead vs the PR 7 batched-blocking path.
+
+    The baseline client is pinned to exactly the PR 7 wire behavior —
+    blocking ``multi_get`` chunks with JSON payloads — by switching off
+    the negotiated features; the pipelined client keeps FETCH_AHEAD
+    chunk requests in flight with binary record replies.  Same server
+    process, same frontier, same records materialized.
+    """
+    graph = _dense_graph()
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-store", "--addr", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    try:
+        banner = server.stdout.readline()
+        host, _, port = banner.strip().rsplit(" ", 1)[-1].partition(":")
+        addr = (host, int(port))
+
+        loader = NetStoreClient(addr)
+        edges = graph.sorted_edges()
+        for i in range(0, len(edges), 512):
+            loader.apply_edge_updates(
+                1, [EdgeUpdate(u, v, added=True) for u, v in edges[i : i + 512]]
+            )
+        loader.close()
+
+        vertices = sorted(graph.vertices())[:FRONTIER]
+
+        blocking = NetStoreClient(addr)
+        # pin the PR 7 path: one blocking JSON multi_get per batch_size
+        # chunk, no pipelining, no binary codec
+        blocking._pipeline = False
+        blocking._binary = False
+        pipelined = NetStoreClient(addr, batch_size=PIPE_BATCH)
+
+        def fetch_pass(client):
+            client.drop_cache()
+            client.prefetch(vertices)
+
+        # both paths must materialize the identical record set
+        fetch_pass(blocking)
+        fetch_pass(pipelined)
+        assert {v: blocking._cache[v].edges.keys() for v in vertices} == {
+            v: pipelined._cache[v].edges.keys() for v in vertices
+        }
+
+        def measure():
+            return {
+                "blocking": _time_best(lambda: fetch_pass(blocking)),
+                "pipelined": _time_best(lambda: fetch_pass(pipelined)),
+            }
+
+        results = benchmark.pedantic(measure, rounds=1, iterations=1)
+        blocking.close()
+        pipelined.close()
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+    speedup = results["blocking"] / results["pipelined"]
+    print_table(
+        "Net pipeline (subprocess server, best of %d)" % ROUNDS,
+        ["Fetch path", "Seconds", "Per record", "Speedup"],
+        [
+            ("blocking json x%d" % FRONTIER, f"{results['blocking']:.4f}",
+             f"{results['blocking'] / FRONTIER * 1e6:.0f}us", "—"),
+            ("pipelined bin x%d" % FRONTIER, f"{results['pipelined']:.4f}",
+             f"{results['pipelined'] / FRONTIER * 1e6:.0f}us",
+             f"{speedup:.2f}x"),
+        ],
+    )
+    record_bench(
+        "net_pipeline",
+        {
+            "blocking_fetch_total_s": results["blocking"],
+            "pipelined_fetch_total_s": results["pipelined"],
+            "pipeline_speedup_x": speedup,
+            "frontier": FRONTIER,
+            "pipeline_batch": PIPE_BATCH,
+        },
+    )
+    # the PR 10 acceptance gate: pipelined fetch-ahead at least doubles
+    # the PR 7 batched-blocking throughput on the same workload
+    assert speedup >= 2.0

@@ -215,8 +215,10 @@ def test_net_trace_overhead(benchmark):
     assert disabled_ping < 0.10, disabled_ping
     assert disabled_fetch < 0.10, disabled_fetch
     # The PR guard: tracing both ends of the mining read path (batched
-    # fetch-ahead) costs ≤5%.  True cost is microseconds per RPC, so the
-    # 5% bound doubles as the noise allowance on a ~10ms workload.
+    # fetch-ahead) costs ≤5%.  True cost is microseconds per RPC; the
+    # pipelined binary fetch brought the workload to ~4ms, so the 5%
+    # bound is a ~200µs noise allowance — comfortable under best-of-N
+    # on an idle machine, though a fully loaded box can exceed it.
     assert enabled_fetch < 0.05, enabled_fetch
     # Per-RPC regression canaries: ~15µs of spans on a ~50µs loopback
     # ping is expected; a blowout past these caps means the manual span

@@ -143,6 +143,7 @@ def cmd_mine(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         store=args.store,
         store_addr=args.store_addr,
+        store_batch=args.store_batch,
         telemetry=telemetry,
         profile=profiling,
     )
@@ -471,6 +472,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="with --store net: connect to a running 'repro serve-store' "
         "server instead of spawning an embedded loopback one",
+    )
+    p.add_argument(
+        "--store-batch",
+        type=int,
+        metavar="N",
+        help="with --store net: records per multi_get chunk (default: 256, "
+        "capped by the server's max_batch)",
     )
     p.add_argument("--quiet", action="store_true", help="suppress per-delta output")
     p.add_argument(

@@ -16,13 +16,22 @@ from repro.net.errors import (
     ProtocolError,
     TransportError,
 )
-from repro.net.frames import MAX_PAYLOAD, PROTOCOL_VERSION, MessageType
-from repro.net.rpc import NetLog, RetryPolicy, RpcClient
+from repro.net.frames import (
+    FLAG_BINARY,
+    FLAG_PIPELINE,
+    MAX_PAYLOAD,
+    PROTOCOL_VERSION,
+    MessageType,
+)
+from repro.net.rpc import DEFAULT_WINDOW, NetLog, RetryPolicy, RpcClient, RpcFuture
 from repro.net.server import StoreServer
-from repro.net.wire import split_address
+from repro.net.wire import RecordsPayload, split_address
 
 __all__ = [
     "ApplicationError",
+    "DEFAULT_WINDOW",
+    "FLAG_BINARY",
+    "FLAG_PIPELINE",
     "MAX_PAYLOAD",
     "MessageType",
     "NetError",
@@ -30,8 +39,10 @@ __all__ = [
     "NetStoreClient",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RecordsPayload",
     "RetryPolicy",
     "RpcClient",
+    "RpcFuture",
     "StoreServer",
     "TransportError",
     "split_address",

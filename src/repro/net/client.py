@@ -34,15 +34,21 @@ copy redials the same address with a fresh session.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from collections import deque
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.net.frames import FLAG_BINARY, FLAG_PIPELINE
 from repro.net.rpc import DEFAULT_DEADLINE, NetLog, RetryPolicy, RpcClient
-from repro.net.server import StoreServer
+from repro.net.server import MAX_BATCH, StoreServer
 from repro.net.wire import (
+    RecordsPayload,
     decode_record,
     decode_reclaim_stats,
     decode_timestamp,
     decode_updated_keys,
+    encode_binary_payload,
+    encode_edge_update,
+    encode_payload,
     encode_record,
     split_address,
 )
@@ -51,10 +57,15 @@ from repro.store.mvstore import MultiVersionStore, VertexRecord
 from repro.store.remote import FetchCosts, FetchLog
 from repro.store.shard import AccessStats, ShardMap
 from repro.telemetry import Telemetry, ensure
-from repro.types import EdgeKey, Label, Timestamp, VertexId
+from repro.types import EdgeKey, EdgeUpdate, Label, Timestamp, VertexId
 
-#: records per multi_get RPC when scanning (iter_records, prefetch)
+#: default records per multi_get RPC when scanning (iter_records, prefetch);
+#: override per client with ``NetStoreClient(batch_size=...)`` or end to end
+#: with ``mine --store-batch``
 BATCH_SIZE = 256
+
+#: multi_get chunks kept in flight ahead of decoding (fetch-ahead)
+FETCH_AHEAD = 4
 
 Address = Union[str, Tuple[str, int]]
 
@@ -78,13 +89,17 @@ class NetStoreClient(GraphStore):
         deadline: float = DEFAULT_DEADLINE,
         retry: Optional[RetryPolicy] = None,
         pool_size: int = 2,
+        batch_size: int = BATCH_SIZE,
         num_shards: int = 8,
         graph=None,
         ts: Timestamp = 1,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
         self.costs = costs
         self.cache_capacity = cache_capacity
+        self.batch_size = batch_size
         self.log = FetchLog()
         self.telemetry = ensure(telemetry)
         self._lock = threading.Lock()
@@ -118,6 +133,11 @@ class NetStoreClient(GraphStore):
         hello = self._rpc.call("hello", {})
         self._session: int = hello["session"]
         self.server_features: Tuple[str, ...] = tuple(hello.get("features") or ())
+        # both fast paths are feature-gated: a JSON-only (or blocking-only)
+        # server never sees a flagged frame or a binary payload from us
+        self._binary = "bin" in self.server_features
+        self._pipeline = "pipe" in self.server_features
+        self._server_max_batch = int(hello.get("max_batch") or MAX_BATCH)
         self._seq = 0
         self._latest: Timestamp = decode_timestamp(hello["latest_ts"])
         self.shards = ShardMap(hello["num_shards"])
@@ -166,7 +186,8 @@ class NetStoreClient(GraphStore):
         cached = self._cache.get(v)
         if cached is not None:
             return cached
-        record = decode_record(self._rpc.call("get_record", {"v": v}))
+        reply = self._rpc.call("get_record", {"v": v}, binary=self._binary)
+        record = self._record_from(v, reply)
         if record is None:
             record = VertexRecord()  # missing vertex reads as empty
         self._charge_fetch(v, record)
@@ -179,7 +200,7 @@ class NetStoreClient(GraphStore):
         return record
 
     def _charge_fetch(self, v: VertexId, record: VertexRecord) -> None:
-        entries = sum(len(versions) for versions in record.edges.values())
+        entries = sum(map(len, record.edges.values()))
         self.log.fetches += 1
         self.log.records_bytes_proxy += max(entries, 1)
         self.log.simulated_seconds += (
@@ -188,26 +209,101 @@ class NetStoreClient(GraphStore):
         shard = self.shards.shard_of(v)
         self.log.per_shard[shard] = self.log.per_shard.get(shard, 0) + 1
 
+    @staticmethod
+    def _record_from(v: VertexId, reply: Any) -> Optional[VertexRecord]:
+        """A single-record reply in either wire form (binary map or JSON)."""
+        if isinstance(reply, RecordsPayload):
+            return reply.records.get(v)
+        return decode_record(reply)
+
+    @staticmethod
+    def _chunk_records(
+        chunk: List[VertexId], reply: Any
+    ) -> Iterator[Tuple[VertexId, Optional[VertexRecord]]]:
+        """``(v, record)`` pairs of one multi_get reply, in request order."""
+        if isinstance(reply, RecordsPayload):
+            for v in chunk:
+                yield v, reply.records.get(v)
+        else:
+            for v in chunk:
+                yield v, decode_record(reply.get(str(v)))
+
+    def _multi_get_stream(
+        self, chunks: List[List[VertexId]]
+    ) -> Iterator[Tuple[List[VertexId], Any]]:
+        """Yield ``(chunk, reply)`` per multi_get, fetch-ahead pipelined.
+
+        Against a pipelining server, up to :data:`FETCH_AHEAD` chunk
+        requests stay in flight while the caller decodes the current
+        reply — the next batch crosses the wire during decode instead of
+        after it.  Replies are consumed strictly in submission order, so
+        cache-fill order and :class:`FetchLog` charging are exactly those
+        of the blocking loop; against an old server this *is* the
+        blocking loop.
+        """
+        if not self._pipeline:
+            for chunk in chunks:
+                yield chunk, self._rpc.call(
+                    "multi_get", {"vs": chunk}, binary=self._binary
+                )
+            return
+        pending = deque()
+        remaining = iter(chunks)
+        for chunk in remaining:
+            pending.append(
+                (
+                    chunk,
+                    self._rpc.submit(
+                        "multi_get",
+                        {"vs": chunk},
+                        binary=self._binary,
+                        flags=FLAG_PIPELINE,
+                    ),
+                )
+            )
+            if len(pending) >= FETCH_AHEAD:
+                break
+        while pending:
+            chunk, future = pending.popleft()
+            reply = future.result()
+            upcoming = next(remaining, None)
+            if upcoming is not None:
+                pending.append(
+                    (
+                        upcoming,
+                        self._rpc.submit(
+                            "multi_get",
+                            {"vs": upcoming},
+                            binary=self._binary,
+                            flags=FLAG_PIPELINE,
+                        ),
+                    )
+                )
+            yield chunk, reply
+
     def prefetch(self, vertices: List[VertexId]) -> int:
         """Batch-fetch records not yet cached; returns how many shipped.
 
-        One ``multi_get`` RPC per :data:`BATCH_SIZE` records.  Each record
-        is charged to the :class:`FetchLog` as a fetch, but a batch shares
+        One ``multi_get`` RPC per :attr:`batch_size` records, issued
+        fetch-ahead (see :meth:`_multi_get_stream`).  Each record is
+        charged to the :class:`FetchLog` as a fetch, but a batch shares
         one modeled round-trip — the batching discount the benchmark
-        measures against per-record fetching.
+        measures against per-record fetching; the charging per chunk is
+        identical whether the chunks were pipelined or blocking.
         """
         missing = [v for v in vertices if v not in self._cache]
         shipped = 0
-        for i in range(0, len(missing), BATCH_SIZE):
-            chunk = missing[i : i + BATCH_SIZE]
-            reply = self._rpc.call("multi_get", {"vs": chunk})
+        chunks = [
+            missing[i : i + self.batch_size]
+            for i in range(0, len(missing), self.batch_size)
+        ]
+        for chunk, reply in self._multi_get_stream(chunks):
             batch_entries = 0
-            for v in chunk:
-                record = decode_record(reply.get(str(v)))
+            for v, record in self._chunk_records(chunk, reply):
                 if record is None:
                     record = VertexRecord()
                 self.log.fetches += 1
-                entries = sum(len(vers) for vers in record.edges.values())
+                entries = sum(map(len, record.edges.values()))
                 self.log.records_bytes_proxy += max(entries, 1)
                 batch_entries += entries
                 shard = self.shards.shard_of(v)
@@ -229,14 +325,60 @@ class NetStoreClient(GraphStore):
 
     # -- write path (RPCs tagged for exactly-once retries) -----------------
 
-    def _write(self, op: str, args: dict) -> None:
+    def _write(self, op: str, args: dict, encoder=None) -> None:
         with self._lock:
             self._seq += 1
             seq = self._seq
-        result = self._rpc.call(op, args, session=self._session, seq=seq)
+        result = self._rpc.call(
+            op, args, session=self._session, seq=seq, encoder=encoder
+        )
         with self._lock:
             self._latest = max(self._latest, decode_timestamp(result["latest_ts"]))
             self._updated_memo = None
+
+    @staticmethod
+    def _edges_encoder(message: Dict[str, Any]) -> Tuple[bytes, int]:
+        """Binary ``put_edges`` request payload, JSON when unrepresentable."""
+        try:
+            return (
+                encode_binary_payload(message, kind="upds", path=("args", "updates")),
+                FLAG_BINARY,
+            )
+        except ValueError:
+            args = dict(message["args"])
+            args["updates"] = [encode_edge_update(upd) for upd in args["updates"]]
+            return encode_payload({**message, "args": args}), 0
+
+    def apply_edge_updates(
+        self, ts: Timestamp, updates: Iterable[EdgeUpdate]
+    ) -> None:
+        """Coalesce one window's updates into ``put_edges`` round trips.
+
+        Instead of one exactly-once RPC per edge update (the inherited
+        loop, still used against servers without the feature), the whole
+        window ships as :attr:`batch_size`-bounded ``put_edges`` batches
+        — each tagged with its own ``seq``, so a retried batch replays
+        from the dedup window rather than re-applying.  The server
+        applies updates in list order at the shared ``ts``, exactly as
+        the per-op loop would have, which keeps all stores byte-identical.
+        """
+        updates = list(updates)
+        if not updates:
+            return
+        if not self._binary:
+            # pre-put_edges server: fall back to the per-update protocol
+            super().apply_edge_updates(ts, updates)
+            return
+        chunk_size = min(self.batch_size, self._server_max_batch)
+        for i in range(0, len(updates), chunk_size):
+            chunk = updates[i : i + chunk_size]
+            self._write(
+                "put_edges",
+                {"ts": ts, "updates": chunk},
+                encoder=self._edges_encoder,
+            )
+        touched = {v for upd in updates for v in (upd.u, upd.v)}
+        self._invalidate(*touched)
 
     def add_edge(
         self,
@@ -342,11 +484,11 @@ class NetStoreClient(GraphStore):
 
     def iter_records(self) -> Iterator[Tuple[VertexId, VertexRecord]]:
         vs = self._rpc.call("list_vertices", {})
-        for i in range(0, len(vs), BATCH_SIZE):
-            chunk = vs[i : i + BATCH_SIZE]
-            reply = self._rpc.call("multi_get", {"vs": chunk})
-            for v in chunk:
-                record = decode_record(reply.get(str(v)))
+        chunks = [
+            vs[i : i + self.batch_size] for i in range(0, len(vs), self.batch_size)
+        ]
+        for chunk, reply in self._multi_get_stream(chunks):
+            for v, record in self._chunk_records(chunk, reply):
                 if record is not None:
                     yield v, record
 
@@ -411,6 +553,7 @@ class NetStoreClient(GraphStore):
                 self._rpc.deadline,
                 self._rpc.retry,
                 self._rpc.pool_size,
+                self.batch_size,
             ),
         )
 
@@ -422,6 +565,7 @@ def _reconnect(
     deadline: float,
     retry: RetryPolicy,
     pool_size: int,
+    batch_size: int = BATCH_SIZE,
 ) -> NetStoreClient:
     return NetStoreClient(
         address,
@@ -430,4 +574,5 @@ def _reconnect(
         deadline=deadline,
         retry=retry,
         pool_size=pool_size,
+        batch_size=batch_size,
     )

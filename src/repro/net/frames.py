@@ -5,9 +5,20 @@ Everything the client and server exchange is a **frame**::
     offset  size  field
     0       2     magic  b"TS"  (Tesseract Store)
     2       1     protocol version (PROTOCOL_VERSION)
-    3       1     message type (a MessageType value)
+    3       1     flags (high bits) | message type (low bits)
     4       4     payload length, unsigned big-endian
     8       n     payload bytes
+
+The type byte carries two **flag bits** in its high half:
+:data:`FLAG_BINARY` (the payload uses the binary record codec of
+:mod:`repro.net.wire` instead of canonical JSON) and
+:data:`FLAG_PIPELINE` (the sender interleaves requests on this
+connection and accepts out-of-order responses).  Both are negotiated
+via the hello ``features`` list before ever appearing on the wire, so
+the flag bits ride inside protocol version 1 without breaking old
+peers: a peer that never advertised the feature never receives the
+flag.  Unknown flag bits make the type byte decode to an unknown
+message type, which is rejected the same way an unknown type is.
 
 The header is fixed-size and self-describing, so a reader can always
 decide — before touching the payload — whether it speaks this frame:
@@ -58,53 +69,70 @@ class MessageType(enum.IntEnum):
 
 _KNOWN_TYPES = {int(t) for t in MessageType}
 
+#: the frame payload is binary-codec encoded (see repro.net.wire);
+#: negotiated via the hello ``features`` entry ``"bin"``
+FLAG_BINARY = 0x80
+
+#: the sender pipelines requests on this connection and accepts
+#: out-of-order responses; negotiated via the ``features`` entry ``"pipe"``
+FLAG_PIPELINE = 0x40
+
+FLAG_MASK = FLAG_BINARY | FLAG_PIPELINE
+
 
 def encode_frame(
     msg_type: MessageType,
     payload: bytes,
     *,
+    flags: int = 0,
     version: int = PROTOCOL_VERSION,
     max_payload: int = MAX_PAYLOAD,
 ) -> bytes:
     """Serialize one frame; raises :class:`FrameTooLargeError` when over."""
     if len(payload) > max_payload:
         raise FrameTooLargeError(len(payload), max_payload)
-    return _HEADER.pack(MAGIC, version, int(msg_type), len(payload)) + payload
+    return _HEADER.pack(
+        MAGIC, version, int(msg_type) | (flags & FLAG_MASK), len(payload)
+    ) + payload
 
 
-def decode_header(header: bytes, *, max_payload: int = MAX_PAYLOAD) -> Tuple[MessageType, int]:
-    """Validate a raw header; returns ``(msg_type, payload_length)``."""
+def decode_header(
+    header: bytes, *, max_payload: int = MAX_PAYLOAD
+) -> Tuple[MessageType, int, int]:
+    """Validate a raw header; returns ``(msg_type, flags, payload_length)``."""
     if len(header) != HEADER_SIZE:
         raise TruncatedFrameError(
             f"frame header truncated at {len(header)}/{HEADER_SIZE} bytes"
         )
-    magic, version, msg_type, length = _HEADER.unpack(header)
+    magic, version, type_byte, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise BadMagicError(f"bad frame magic {magic!r}")
     if version != PROTOCOL_VERSION:
         raise VersionMismatchError(version, PROTOCOL_VERSION)
+    flags = type_byte & FLAG_MASK
+    msg_type = type_byte & ~FLAG_MASK
     if msg_type not in _KNOWN_TYPES:
-        raise UnknownMessageTypeError(msg_type)
+        raise UnknownMessageTypeError(type_byte)
     if length > max_payload:
         raise FrameTooLargeError(length, max_payload)
-    return MessageType(msg_type), length
+    return MessageType(msg_type), flags, length
 
 
 def read_frame(
     read: Callable[[int], bytes], *, max_payload: int = MAX_PAYLOAD
-) -> Tuple[MessageType, bytes]:
+) -> Tuple[MessageType, int, bytes]:
     """Read one complete frame via ``read(n)`` (a ``recv``-like callable).
 
-    ``read`` may return fewer bytes than requested (socket semantics) and
-    must return ``b""`` at EOF.  EOF on the very first byte raises
-    :class:`TruncatedFrameError` with ``clean_eof=True`` set on the
-    exception, so callers can tell an orderly peer close from a frame cut
-    off mid-flight.
+    Returns ``(msg_type, flags, payload)``.  ``read`` may return fewer
+    bytes than requested (socket semantics) and must return ``b""`` at
+    EOF.  EOF on the very first byte raises :class:`TruncatedFrameError`
+    with ``clean_eof=True`` set on the exception, so callers can tell an
+    orderly peer close from a frame cut off mid-flight.
     """
     header = _read_exact(read, HEADER_SIZE, what="frame header")
-    msg_type, length = decode_header(header, max_payload=max_payload)
+    msg_type, flags, length = decode_header(header, max_payload=max_payload)
     payload = _read_exact(read, length, what="frame payload") if length else b""
-    return msg_type, payload
+    return msg_type, flags, payload
 
 
 def _read_exact(read: Callable[[int], bytes], n: int, *, what: str) -> bytes:

@@ -29,12 +29,26 @@ structures.  The edge-version list format is deliberately the same
 ``[added_ts, deleted_ts, label, direction]`` quad the checkpoint file
 format uses (:mod:`repro.store.checkpoint`), so a record reads the same
 on disk and on the wire.
+
+Binary fast path
+    Frames flagged :data:`~repro.net.frames.FLAG_BINARY` carry a hybrid
+    payload instead of pure JSON: a ``u32`` length-prefixed canonical-JSON
+    **envelope** (the message minus its record-heavy field, plus a ``_b``
+    marker naming the blob kind and where the decoded value belongs)
+    followed by a struct-packed **blob** of edge-version quads with a
+    shared label string table.  See :func:`encode_binary_payload` /
+    :func:`decode_binary_payload`.  The codec is strict: values it cannot
+    represent (non-int timestamps, > 65534 distinct labels, out-of-range
+    ids) raise ``ValueError`` at encode time so callers fall back to
+    JSON, and any truncated or oversized blob raises
+    :class:`~repro.net.errors.ProtocolError` at decode time.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Tuple
+import struct
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.errors import ProtocolError
 from repro.store.api import ReclaimStats
@@ -195,6 +209,490 @@ def decode_timestamp(value: Any) -> Timestamp:
     if not isinstance(value, int) or isinstance(value, bool):
         raise ProtocolError(f"timestamp field is not an integer: {value!r}")
     return value
+
+
+# -- binary record codec (the FLAG_BINARY fast path) -------------------------
+
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_VERTEX_HEAD = struct.Struct(">qB")  # vertex id, presence byte
+_LABEL_CHANGE = struct.Struct(">qH")  # ts, label index
+_NEIGHBOR_HEAD = struct.Struct(">qI")  # neighbor id, version count
+_EDGE_VERSION = struct.Struct(">qqHB")  # added, deleted (-1 = None), label, dir
+_UPDATE = struct.Struct(">qqBHB")  # u, v, added, label, dir
+#: a neighbor head immediately followed by its first edge version — the
+#: overwhelmingly common single-version neighbor packs/unpacks in ONE
+#: struct call instead of two (pure layout fusion, not a wire change)
+_NEIGHBOR_ONE = struct.Struct(">qIqqHB")
+
+#: string-table index meaning "label is None"
+_NO_LABEL = 0xFFFF
+
+#: direction codes are closed over the protocol's legal direction values
+_DIRECTIONS: Tuple[Optional[str], ...] = (None, "fwd", "rev", "both")
+_DIR_CODE = {d: i for i, d in enumerate(_DIRECTIONS)}
+
+#: blob kinds the binary payload may carry
+BINARY_KINDS = ("recs", "upds")
+
+
+class RecordsPayload:
+    """A record-map result staged for either payload encoding.
+
+    Handlers that serve whole records (``multi_get``, ``get_record``)
+    return one of these instead of committing to a wire form; the frame
+    writer then packs :attr:`records` with the binary codec when the
+    request opted in (and the values are representable) or falls back to
+    :meth:`to_json`.  The client-side binary decoder hands the same type
+    back, so ``isinstance(reply, RecordsPayload)`` distinguishes the two
+    reply forms without sniffing dict shapes.
+
+    ``single=True`` marks a one-record map whose **JSON** form is the
+    bare record (the historical ``get_record`` reply shape) rather than
+    a map — that keeps the JSON wire format byte-identical for old
+    clients while the binary form is uniformly a map.
+    """
+
+    __slots__ = ("records", "single")
+
+    def __init__(
+        self,
+        records: Dict[int, Optional[VertexRecord]],
+        *,
+        single: bool = False,
+    ) -> None:
+        self.records = records
+        self.single = single
+
+    def to_json(self) -> Any:
+        if self.single:
+            record = next(iter(self.records.values()), None)
+            return encode_record(record)
+        return {str(v): encode_record(rec) for v, rec in self.records.items()}
+
+
+class _StringTable:
+    """Intern labels into dense ``u16`` indices (encode side)."""
+
+    __slots__ = ("_index", "entries")
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self.entries: List[str] = []
+
+    def index_of(self, label: Optional[str]) -> int:
+        if label is None:
+            return _NO_LABEL
+        if not isinstance(label, str):
+            raise ValueError(f"binary codec requires str labels, not {label!r}")
+        idx = self._index.get(label)
+        if idx is None:
+            idx = len(self.entries)
+            if idx >= _NO_LABEL:
+                raise ValueError("too many distinct labels for the binary codec")
+            self._index[label] = idx
+            self.entries.append(label)
+        return idx
+
+    def encode(self) -> bytes:
+        out = bytearray(_U32.pack(len(self.entries)))
+        for label in self.entries:
+            raw = label.encode("utf-8")
+            if len(raw) > 0xFFFE:
+                raise ValueError("label too long for the binary codec")
+            out += _U16.pack(len(raw))
+            out += raw
+        return bytes(out)
+
+
+class _BlobReader:
+    """Bounds-checked cursor over a binary blob (decode side)."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int) -> None:
+        self.data = data
+        self.pos = pos
+
+    def unpack(self, st: struct.Struct) -> tuple:
+        end = self.pos + st.size
+        if end > len(self.data):
+            raise ProtocolError(
+                f"binary payload truncated at byte {self.pos}"
+            )
+        values = st.unpack_from(self.data, self.pos)
+        self.pos = end
+        return values
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ProtocolError(
+                f"binary payload truncated at byte {self.pos}"
+            )
+        chunk = self.data[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def read_string_table(self) -> List[Optional[str]]:
+        (count,) = self.unpack(_U32)
+        table: List[Optional[str]] = []
+        for _ in range(count):
+            (length,) = self.unpack(_U16)
+            try:
+                table.append(self.take(length).decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise ProtocolError(f"undecodable label in string table: {exc}") from None
+        return table
+
+    def label_at(self, idx: int, table: List[Optional[str]]) -> Optional[str]:
+        if idx == _NO_LABEL:
+            return None
+        if idx >= len(table):
+            raise ProtocolError(f"label index {idx} outside string table")
+        return table[idx]
+
+
+def _require_wire_int(value: Any, what: str) -> int:
+    # bool is an int subclass but would change meaning across codecs
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"binary codec requires int {what}, not {value!r}")
+    return value
+
+
+def _dir_code(direction: Optional[str]) -> int:
+    code = _DIR_CODE.get(direction)
+    if code is None:
+        raise ValueError(f"direction {direction!r} has no binary encoding")
+    return code
+
+
+def _encode_records_blob(records: Dict[int, Optional[VertexRecord]]) -> bytes:
+    # Hot loop: the server packs thousands of edge versions per multi_get
+    # reply, so struct ``pack`` methods are bound into locals and the
+    # int guards are inline ``type(x) is int`` checks (exact type: bool
+    # must still be rejected, its JSON form differs) with the slow
+    # ``_require_wire_int`` raising the descriptive ValueError only on
+    # the fallback path.
+    labels = _StringTable()
+    label_index = labels.index_of
+    pack_vertex = _VERTEX_HEAD.pack
+    pack_label = _LABEL_CHANGE.pack
+    pack_neighbor = _NEIGHBOR_HEAD.pack
+    pack_neighbor_one = _NEIGHBOR_ONE.pack
+    pack_edge = _EDGE_VERSION.pack
+    pack_u32 = _U32.pack
+    dir_codes = _DIR_CODE
+    no_label = _NO_LABEL
+    body = bytearray(pack_u32(len(records)))
+    try:
+        for v, record in records.items():
+            if type(v) is not int:
+                _require_wire_int(v, "vertex id")
+            if record is None:
+                body += pack_vertex(v, 0)
+                continue
+            body += pack_vertex(v, 1)
+            history = record.label_history
+            body += pack_u32(len(history))
+            for ts, label in history:
+                if type(ts) is not int:
+                    _require_wire_int(ts, "timestamp")
+                body += pack_label(
+                    ts, no_label if label is None else label_index(label)
+                )
+            edges = record.edges
+            body += pack_u32(len(edges))
+            for dst, versions in edges.items():
+                if type(dst) is not int:
+                    _require_wire_int(dst, "vertex id")
+                n_versions = len(versions)
+                if n_versions == 1:
+                    # fused pack: head + sole version in one struct call
+                    iv = versions[0]
+                    added = iv.added_ts
+                    if type(added) is not int:
+                        _require_wire_int(added, "timestamp")
+                    deleted = iv.deleted_ts
+                    if deleted is None:
+                        deleted = -1
+                    elif type(deleted) is not int:
+                        _require_wire_int(deleted, "timestamp")
+                    label = iv.label
+                    code = dir_codes.get(iv.direction)
+                    if code is None:
+                        raise ValueError(
+                            f"direction {iv.direction!r} has no binary encoding"
+                        )
+                    body += pack_neighbor_one(
+                        dst,
+                        1,
+                        added,
+                        deleted,
+                        no_label if label is None else label_index(label),
+                        code,
+                    )
+                    continue
+                body += pack_neighbor(dst, n_versions)
+                for iv in versions:
+                    added = iv.added_ts
+                    if type(added) is not int:
+                        _require_wire_int(added, "timestamp")
+                    deleted = iv.deleted_ts
+                    if deleted is None:
+                        deleted = -1
+                    elif type(deleted) is not int:
+                        _require_wire_int(deleted, "timestamp")
+                    label = iv.label
+                    code = dir_codes.get(iv.direction)
+                    if code is None:
+                        raise ValueError(
+                            f"direction {iv.direction!r} has no binary encoding"
+                        )
+                    body += pack_edge(
+                        added,
+                        deleted,
+                        no_label if label is None else label_index(label),
+                        code,
+                    )
+    except struct.error as exc:  # out-of-range id/ts: fall back to JSON
+        raise ValueError(f"value out of range for binary codec: {exc}") from None
+    return labels.encode() + bytes(body)
+
+
+def _decode_records_blob(reader: _BlobReader) -> Dict[int, Optional[VertexRecord]]:
+    table = reader.read_string_table()
+    # Hot loop: a prefetch decodes thousands of these structs per reply,
+    # so the cursor is inlined into locals and bounds checking is left to
+    # ``struct.unpack_from`` itself (struct.error == truncated payload)
+    # instead of paying a _BlobReader method call per struct.
+    data = reader.data
+    pos = reader.pos
+    end = len(data)
+    vertex_head = _VERTEX_HEAD.unpack_from
+    label_change = _LABEL_CHANGE.unpack_from
+    neighbor_head = _NEIGHBOR_HEAD.unpack_from
+    neighbor_one = _NEIGHBOR_ONE.unpack_from
+    edge_version = _EDGE_VERSION.unpack_from
+    u32 = _U32.unpack_from
+    vertex_head_n = _VERTEX_HEAD.size
+    label_change_n = _LABEL_CHANGE.size
+    neighbor_head_n = _NEIGHBOR_HEAD.size
+    neighbor_one_n = _NEIGHBOR_ONE.size
+    edge_version_n = _EDGE_VERSION.size
+    no_label = _NO_LABEL
+    directions = _DIRECTIONS
+    label_count = len(table)
+    records: Dict[int, Optional[VertexRecord]] = {}
+    try:
+        (count,) = u32(data, pos)
+        pos += 4
+        for _ in range(count):
+            v, present = vertex_head(data, pos)
+            pos += vertex_head_n
+            if present == 0:
+                records[v] = None
+                continue
+            if present != 1:
+                raise ProtocolError(f"bad record presence byte {present}")
+            (n_labels,) = u32(data, pos)
+            pos += 4
+            history = []
+            for _ in range(n_labels):
+                ts, idx = label_change(data, pos)
+                pos += label_change_n
+                if idx == no_label:
+                    history.append((ts, None))
+                elif idx < label_count:
+                    history.append((ts, table[idx]))
+                else:
+                    raise ProtocolError(f"label index {idx} outside string table")
+            (n_neighbors,) = u32(data, pos)
+            pos += 4
+            edges: Dict[int, List[EdgeInterval]] = {}
+            for _ in range(n_neighbors):
+                # Speculative fused read: when enough bytes remain for a
+                # head + one version, unpack both at once; if the version
+                # count turns out not to be 1, only the head's bytes are
+                # consumed and the per-version loop below takes over.
+                if end - pos >= neighbor_one_n:
+                    dst, n_versions, added, deleted, idx, dcode = neighbor_one(
+                        data, pos
+                    )
+                    if n_versions == 1:
+                        pos += neighbor_one_n
+                        if idx == no_label:
+                            label = None
+                        elif idx < label_count:
+                            label = table[idx]
+                        else:
+                            raise ProtocolError(
+                                f"label index {idx} outside string table"
+                            )
+                        if dcode >= 4:
+                            raise ProtocolError(f"bad direction code {dcode}")
+                        edges[dst] = [
+                            EdgeInterval(
+                                added,
+                                None if deleted == -1 else deleted,
+                                label,
+                                directions[dcode],
+                            )
+                        ]
+                        continue
+                    pos += neighbor_head_n
+                else:
+                    dst, n_versions = neighbor_head(data, pos)
+                    pos += neighbor_head_n
+                versions = []
+                for _ in range(n_versions):
+                    added, deleted, idx, dcode = edge_version(data, pos)
+                    pos += edge_version_n
+                    if idx == no_label:
+                        label = None
+                    elif idx < label_count:
+                        label = table[idx]
+                    else:
+                        raise ProtocolError(
+                            f"label index {idx} outside string table"
+                        )
+                    if dcode >= 4:
+                        raise ProtocolError(f"bad direction code {dcode}")
+                    versions.append(
+                        EdgeInterval(
+                            added,
+                            None if deleted == -1 else deleted,
+                            label,
+                            directions[dcode],
+                        )
+                    )
+                edges[dst] = versions
+            records[v] = VertexRecord(history, edges)
+    except struct.error:
+        raise ProtocolError(f"binary payload truncated at byte {pos}") from None
+    reader.pos = pos
+    return records
+
+
+def _encode_updates_blob(updates: Iterable[EdgeUpdate]) -> bytes:
+    labels = _StringTable()
+    body = bytearray()
+    count = 0
+    try:
+        for upd in updates:
+            body += _UPDATE.pack(
+                _require_wire_int(upd.u, "vertex id"),
+                _require_wire_int(upd.v, "vertex id"),
+                1 if upd.added else 0,
+                labels.index_of(upd.label),
+                _dir_code(upd.direction),
+            )
+            count += 1
+    except struct.error as exc:
+        raise ValueError(f"value out of range for binary codec: {exc}") from None
+    return labels.encode() + _U32.pack(count) + bytes(body)
+
+
+def _decode_updates_blob(reader: _BlobReader) -> List[EdgeUpdate]:
+    table = reader.read_string_table()
+    (count,) = reader.unpack(_U32)
+    updates = []
+    for _ in range(count):
+        u, v, added, idx, dcode = reader.unpack(_UPDATE)
+        if added not in (0, 1):
+            raise ProtocolError(f"bad update added byte {added}")
+        if dcode >= len(_DIRECTIONS):
+            raise ProtocolError(f"bad direction code {dcode}")
+        updates.append(
+            EdgeUpdate(
+                u,
+                v,
+                added=bool(added),
+                label=reader.label_at(idx, table),
+                direction=_DIRECTIONS[dcode],
+            )
+        )
+    return updates
+
+
+_BLOB_CODECS = {
+    "recs": (_encode_records_blob, _decode_records_blob),
+    "upds": (_encode_updates_blob, _decode_updates_blob),
+}
+
+
+def encode_binary_payload(
+    message: Dict[str, Any], *, kind: str, path: Tuple[str, ...]
+) -> bytes:
+    """Pack one message as ``u32 env_len | JSON envelope | binary blob``.
+
+    The value at ``path`` (e.g. ``("result",)`` or ``("args",
+    "updates")``) is lifted out of the message into the blob; the
+    envelope keeps everything else plus a ``_b`` marker ``[kind, *path]``
+    telling the decoder where the value belongs.  Raises ``ValueError``
+    when the value is not representable (callers fall back to JSON) and
+    ``KeyError`` when ``path`` is absent from the message.
+    """
+    encode_blob = _BLOB_CODECS[kind][0]
+    if len(path) == 1:
+        value = message[path[0]]
+        envelope = {k: v for k, v in message.items() if k != path[0]}
+    else:
+        inner = message[path[0]]
+        value = inner[path[1]]
+        envelope = dict(message)
+        envelope[path[0]] = {k: v for k, v in inner.items() if k != path[1]}
+    if isinstance(value, RecordsPayload):
+        value = value.records
+    envelope["_b"] = [kind, *path]
+    blob = encode_blob(value)
+    env = encode_payload(envelope)
+    return _U32.pack(len(env)) + env + blob
+
+
+def decode_binary_payload(payload: bytes) -> Dict[str, Any]:
+    """Unpack a :data:`~repro.net.frames.FLAG_BINARY` payload.
+
+    Returns the full message dict with the blob decoded back into place:
+    ``recs`` blobs land as a :class:`RecordsPayload`, ``upds`` blobs as a
+    list of :class:`~repro.types.EdgeUpdate`.  Truncated envelopes or
+    blobs, unknown kinds, bad markers, and trailing bytes after the blob
+    all raise :class:`~repro.net.errors.ProtocolError`.
+    """
+    if len(payload) < _U32.size:
+        raise ProtocolError("binary payload shorter than its length prefix")
+    (env_len,) = _U32.unpack_from(payload)
+    if _U32.size + env_len > len(payload):
+        raise ProtocolError(
+            f"binary envelope of {env_len} bytes overruns the payload"
+        )
+    envelope = decode_payload(payload[_U32.size : _U32.size + env_len])
+    marker = envelope.pop("_b", None)
+    if (
+        not isinstance(marker, list)
+        or not 2 <= len(marker) <= 3
+        or not all(isinstance(part, str) for part in marker)
+    ):
+        raise ProtocolError(f"bad binary payload marker {marker!r}")
+    kind, path = marker[0], tuple(marker[1:])
+    if kind not in _BLOB_CODECS:
+        raise ProtocolError(f"unknown binary blob kind {kind!r}")
+    reader = _BlobReader(payload, _U32.size + env_len)
+    value: Any = _BLOB_CODECS[kind][1](reader)
+    if reader.pos != len(payload):
+        raise ProtocolError(
+            f"{len(payload) - reader.pos} trailing bytes after binary blob"
+        )
+    if kind == "recs":
+        value = RecordsPayload(value)
+    if len(path) == 1:
+        envelope[path[0]] = value
+    else:
+        inner = envelope.get(path[0])
+        if not isinstance(inner, dict):
+            raise ProtocolError(f"binary marker path {path!r} missing from envelope")
+        inner[path[1]] = value
+    return envelope
 
 
 def split_address(text: str) -> Tuple[str, int]:

@@ -59,7 +59,8 @@ class StreamingSession:
     instance does not (the instance already holds its data).  A named
     store is *owned* by the session and closed by :meth:`close`;
     ``store_addr`` points the ``net`` kind at an external
-    ``repro serve-store`` server instead of an embedded loopback one.
+    ``repro serve-store`` server instead of an embedded loopback one and
+    ``store_batch`` sets that client's records-per-``multi_get`` chunk.
     """
 
     def __init__(
@@ -73,6 +74,7 @@ class StreamingSession:
         initial_graph: Optional[AdjacencyGraph] = None,
         store: "str | GraphStore | None" = None,
         store_addr: Optional[str] = None,
+        store_batch: Optional[int] = None,
         gc_enabled: bool = False,
         trace_tasks: bool = False,
         spec=None,
@@ -99,6 +101,7 @@ class StreamingSession:
                 graph=initial_graph,
                 fetch_costs=fetch_costs,
                 addr=store_addr,
+                batch_size=store_batch,
                 telemetry=telemetry,
             )
             self._owns_store = True

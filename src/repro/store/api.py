@@ -112,6 +112,23 @@ class GraphStore(abc.ABC):
     def ensure_vertex(self, v: VertexId) -> None:
         """Create an (isolated) vertex record if it does not exist."""
 
+    def apply_edge_updates(self, ts: Timestamp, updates) -> None:
+        """Apply one window's edge updates at the shared timestamp ``ts``.
+
+        ``updates`` is an ordered iterable of :class:`~repro.types.\
+        EdgeUpdate`; they apply strictly in list order, so the default —
+        the per-update loop every in-process store wants — and any
+        coalescing override (the ``net`` store ships whole batches as one
+        ``put_edges`` RPC) leave the store in the identical state.
+        """
+        for upd in updates:
+            if upd.added:
+                self.add_edge(
+                    upd.u, upd.v, ts, label=upd.label, direction=upd.direction
+                )
+            else:
+                self.delete_edge(upd.u, upd.v, ts)
+
     # -- read path (timestamped) ------------------------------------------
 
     @property
@@ -293,6 +310,7 @@ def make_store(
     fetch_costs=None,
     cache_size: Optional[int] = None,
     addr: Optional[str] = None,
+    batch_size: Optional[int] = None,
     telemetry=None,
 ) -> GraphStore:
     """Construct a store by registry name (see :data:`STORE_NAMES`).
@@ -303,15 +321,21 @@ def make_store(
     ``fetch_costs`` as its simulated latency model.  The ``net`` kind
     reads and writes over real TCP: with ``addr`` (``"host:port"``) it
     connects to a running ``repro serve-store`` server, without one it
-    spawns an embedded loopback server of its own.  ``telemetry`` (only
-    meaningful for ``net``) traces the client's RPCs — and propagates
-    trace context to the server on every request.
+    spawns an embedded loopback server of its own.  ``batch_size`` (also
+    ``net`` only, the CLI's ``mine --store-batch``) sets its records-per-
+    ``multi_get`` chunk.  ``telemetry`` (only meaningful for ``net``)
+    traces the client's RPCs — and propagates trace context to the
+    server on every request.
     """
     from repro.store.mvstore import MultiVersionStore
     from repro.store.sharded import ShardedStore
 
     if addr is not None and kind != "net":
         raise ValueError(f"addr= only applies to the 'net' store, not {kind!r}")
+    if batch_size is not None and kind != "net":
+        raise ValueError(
+            f"batch_size= only applies to the 'net' store, not {kind!r}"
+        )
     kwargs = {"num_shards": num_shards}
     if cache_size is not None:
         kwargs["cache_size"] = cache_size
@@ -320,13 +344,14 @@ def make_store(
     elif kind == "sharded":
         cls = ShardedStore
     elif kind == "net":
-        from repro.net.client import NetStoreClient
+        from repro.net.client import BATCH_SIZE, NetStoreClient
         from repro.store.remote import FetchCosts
 
         return NetStoreClient(
             addr,
             costs=fetch_costs if fetch_costs is not None else FetchCosts(),
             cache_capacity=cache_size,
+            batch_size=batch_size if batch_size is not None else BATCH_SIZE,
             num_shards=num_shards,
             graph=graph,
             ts=ts,

@@ -321,17 +321,15 @@ class IngressNode:
         overflow = items[cut:]
         for key, op in items[:cut]:
             u, v = key
-            if op.added:
-                self.store.add_edge(
-                    u, v, ts, label=op.label, direction=op.direction
-                )
-            else:
-                self.store.delete_edge(u, v, ts)
             window.updates.append(
                 EdgeUpdate(
                     u, v, added=op.added, label=op.label, direction=op.direction
                 )
             )
+        # One coalesced application: stores that batch over the wire
+        # (NetStoreClient) ship the whole window in a few put_edges RPCs
+        # instead of one add_edge/delete_edge round trip per update.
+        self.store.apply_edge_updates(ts, window.updates)
         self._pending = dict(overflow)
         if self.queue is not None:
             for upd in window.updates:

@@ -277,6 +277,15 @@ class Tracer:
     # readings they already take and append finished records through these
     # primitives: one lock covers id allocation + parent resolution, one
     # more covers the whole batch append.
+    #
+    # Pipelined RPC makes these spans *overlap*: a client may hold many
+    # in-flight futures whose spans were opened (ids allocated, sent on
+    # the wire) before any of them completes, and completion order need
+    # not match open order.  That is fine by construction — ids come from
+    # one monotone counter at open time, records land whenever the caller
+    # finishes timing, and nothing here (or in trace-merge, which bounds
+    # per-RPC clock offsets independently) assumes span intervals nest or
+    # that record order matches id order.
 
     def now(self) -> float:
         """One reading of this tracer's span clock (for manual records)."""

@@ -1,11 +1,13 @@
 """Network chaos: mining output is byte-identical under injected faults.
 
 A :class:`FaultProxy` (frame-aware, deterministic, counter-scheduled) sits
-between the :class:`NetStoreClient` and the :class:`StoreServer`, dropping
-and duplicating frames.  Drops force the client through its deadline +
-retry machinery; duplicated requests force the server's exactly-once
-write dedup; duplicated responses force the client's request-id discard
-loop.  None of it may change a single output byte.
+between the :class:`NetStoreClient` and the :class:`StoreServer`, dropping,
+duplicating, and reordering frames.  Drops force the client through its
+deadline + retry machinery; duplicated requests force the server's
+exactly-once write dedup; duplicated responses force the client's
+request-id discard loop; reordered responses force the pipelined
+channel's id-keyed out-of-order completion.  None of it may change a
+single output byte.
 """
 
 import pytest
@@ -81,6 +83,23 @@ class TestChaosMining:
         assert (dropped + duplicated + delayed) > 0
 
     @pytest.mark.parametrize(
+        "proxied",
+        [
+            {"reorder_every": 3},
+            {"reorder_every": 4, "drop_every": 21, "dup_every": 9},
+        ],
+        indirect=True,
+        ids=["reorders", "reorders+drops+dups"],
+    )
+    def test_output_identical_under_reordering(self, proxied):
+        """Pipelined responses arriving out of order (with drops and dups
+        layered on top) never change a mined byte — the channel matches
+        by id, not arrival order."""
+        client, proxy = proxied
+        assert mine_through(client) == mine_through("mv")
+        assert proxy.reorder_count() > 0
+
+    @pytest.mark.parametrize(
         "proxied", [{"drop_every": 13, "dup_every": 4}], indirect=True
     )
     def test_client_retried_and_recovered(self, proxied):
@@ -97,11 +116,18 @@ class TestChaosMining:
 
 class TestChaosWrites:
     @pytest.mark.parametrize(
-        "proxied", [{"drop_every": 7, "dup_every": 3}], indirect=True
+        "proxied",
+        [
+            {"drop_every": 7, "dup_every": 3},
+            {"drop_every": 11, "dup_every": 5, "reorder_every": 4},
+        ],
+        indirect=True,
+        ids=["drops+dups", "drops+dups+reorders"],
     )
     def test_writes_apply_exactly_once(self, proxied):
         """Dropped responses trigger write retransmits; duplicated request
-        frames re-deliver writes.  The dedup window must absorb both."""
+        frames re-deliver writes; reordering scrambles the coalesced
+        put_edges replies.  The dedup window must absorb all of it."""
         client, proxy = proxied
         edges = erdos_renyi(10, 22, seed=3).sorted_edges()
         for ts, (u, v) in enumerate(edges, start=1):

@@ -4,10 +4,12 @@
 and a :class:`~repro.net.server.StoreServer` and injects faults at **frame
 boundaries**: it parses each relayed frame with the real codec, then —
 according to deterministic counter-based rules, no RNG — drops it, delays
-it, or duplicates it.  Frame-boundary faults are the interesting ones:
-a dropped frame exercises the client's deadline + retry machinery, a
-duplicated request exercises the server's exactly-once write dedup, and a
-duplicated response exercises the client's request-id discard loop.
+it, duplicates it, or reorders it.  Frame-boundary faults are the
+interesting ones: a dropped frame exercises the client's deadline + retry
+machinery, a duplicated request exercises the server's exactly-once write
+dedup, a duplicated response exercises the client's request-id discard
+loop, and a reordered response exercises the pipelined client's
+id-keyed out-of-order completion.
 
 Frames in both directions share one counter, so a rule like
 ``drop_every=7`` kills every 7th frame regardless of direction — requests
@@ -35,9 +37,13 @@ class FaultProxy:
 
     ``drop_every=N`` drops every Nth relayed frame; ``dup_every=M`` sends
     every Mth frame twice; ``delay_every=K`` sleeps ``delay_s`` before
-    forwarding every Kth frame.  All counters are global across both
-    directions and all connections, so fault schedules are reproducible
-    for a serially-issuing client.
+    forwarding every Kth frame; ``reorder_every=R`` holds every Rth frame
+    back and sends it *after* the next frame travelling the same
+    direction (an adjacent swap — held frames are flushed at EOF so
+    nothing is silently lost).  Drop/dup/delay counters are global across
+    both directions and all connections, so fault schedules are
+    reproducible for a serially-issuing client; the reorder counter is
+    per direction, since swapping is only meaningful within one stream.
     """
 
     def __init__(
@@ -48,16 +54,19 @@ class FaultProxy:
         dup_every: int = 0,
         delay_every: int = 0,
         delay_s: float = 0.0,
+        reorder_every: int = 0,
     ) -> None:
         self.upstream = upstream
         self.drop_every = drop_every
         self.dup_every = dup_every
         self.delay_every = delay_every
         self.delay_s = delay_s
+        self.reorder_every = reorder_every
         self.frames = 0
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
+        self.reordered = 0
         self._lock = threading.Lock()
         self._conns: List[socket.socket] = []
         self._closed = False
@@ -115,13 +124,17 @@ class FaultProxy:
                 ).start()
 
     def _pump(self, src: socket.socket, dst: socket.socket) -> None:
+        held: List[bytes] = []  # frame awaiting an adjacent swap
+        seen = 0  # per-direction frame count for reorder_every
         try:
             while True:
                 try:
-                    msg_type, payload = read_frame(src.recv)
+                    msg_type, flags, payload = read_frame(src.recv)
                 except (TruncatedFrameError, OSError):
                     return
-                raw = encode_frame(msg_type, payload)
+                # re-encode with the original flag bits so binary /
+                # pipelined frames survive the relay byte-identically
+                raw = encode_frame(msg_type, payload, flags=flags)
                 with self._lock:
                     self.frames += 1
                     n = self.frames
@@ -139,12 +152,32 @@ class FaultProxy:
                 if copies == 2:
                     with self._lock:
                         self.duplicated += 1
+                seen += 1
+                if (
+                    self.reorder_every
+                    and not held
+                    and seen % self.reorder_every == 0
+                ):
+                    held.append(raw)
+                    with self._lock:
+                        self.reordered += 1
+                    continue
                 try:
                     for _ in range(copies):
                         dst.sendall(raw)
+                    if held:
+                        dst.sendall(held.pop())
                 except OSError:
                     return
         finally:
+            # flush a frame still held for reordering: EOF means no
+            # successor is coming, and dropping it here would turn a
+            # reorder rule into a surprise drop rule
+            if held:
+                try:
+                    dst.sendall(held.pop())
+                except OSError:
+                    pass
             # one side died: sever the other so its pump unblocks too
             for sock in (src, dst):
                 try:
@@ -157,3 +190,7 @@ class FaultProxy:
         """(dropped, duplicated, delayed) so far."""
         with self._lock:
             return self.dropped, self.duplicated, self.delayed
+
+    def reorder_count(self) -> int:
+        with self._lock:
+            return self.reordered

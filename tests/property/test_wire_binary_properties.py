@@ -1,0 +1,295 @@
+"""Property tests for the binary payload fast path (FLAG_BINARY).
+
+The binary record codec must be a *lossless alternate encoding*: any
+record map or update list the JSON codec can carry decodes back
+bit-identically from the binary form, corrupt payloads (truncated,
+padded, mangled markers) raise :class:`ProtocolError` rather than
+returning wrong data, and unrepresentable values raise ``ValueError`` on
+encode so callers fall back to JSON instead of hard-failing.  A small
+negotiation matrix pins the compatibility story: a binary-capable client
+against a JSON-only server (and the reverse) must interoperate with no
+protocol break.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.net.errors import ProtocolError
+from repro.net.wire import (
+    RecordsPayload,
+    decode_binary_payload,
+    decode_record,
+    encode_binary_payload,
+    encode_edge_update,
+)
+from repro.store.mvstore import EdgeInterval, VertexRecord
+from repro.types import EdgeUpdate
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+vertex_ids = st.integers(min_value=-(2**40), max_value=2**40)
+timestamps = st.integers(min_value=0, max_value=2**40)
+labels = st.none() | st.text(max_size=6)
+directions = st.sampled_from([None, "fwd", "rev", "both"])
+
+intervals = st.builds(
+    EdgeInterval,
+    added_ts=timestamps,
+    deleted_ts=st.none() | timestamps,
+    label=labels,
+    direction=directions,
+)
+
+records = st.builds(
+    VertexRecord,
+    label_history=st.lists(st.tuples(timestamps, labels), max_size=4),
+    edges=st.dictionaries(
+        vertex_ids, st.lists(intervals, min_size=1, max_size=3), max_size=4
+    ),
+)
+
+record_maps = st.dictionaries(vertex_ids, st.none() | records, max_size=5)
+
+def _make_update(endpoints, added, label, direction):
+    u, v = sorted(endpoints)
+    return EdgeUpdate(u, v, added=added, label=label, direction=direction)
+
+
+updates = st.lists(
+    st.builds(
+        _make_update,
+        endpoints=st.tuples(vertex_ids, vertex_ids).filter(lambda t: t[0] != t[1]),
+        added=st.booleans(),
+        label=labels,
+        direction=directions,
+    ),
+    max_size=8,
+)
+
+
+def records_equal(a, b):
+    if (a is None) != (b is None):
+        return False
+    if a is None:
+        return True
+    if a.label_history != b.label_history:
+        return False
+    if set(a.edges) != set(b.edges):
+        return False
+    for dst, versions in a.edges.items():
+        got = b.edges[dst]
+        if len(got) != len(versions):
+            return False
+        for x, y in zip(versions, got):
+            if (x.added_ts, x.deleted_ts, x.label, x.direction) != (
+                y.added_ts,
+                y.deleted_ts,
+                y.label,
+                y.direction,
+            ):
+                return False
+    return True
+
+
+class TestRoundTrip:
+    @SETTINGS
+    @given(record_maps)
+    def test_record_map_round_trips(self, recs):
+        message = {"id": 7, "result": RecordsPayload(recs)}
+        payload = encode_binary_payload(message, kind="recs", path=("result",))
+        decoded = decode_binary_payload(payload)
+        assert decoded["id"] == 7
+        reply = decoded["result"]
+        assert isinstance(reply, RecordsPayload)
+        assert set(reply.records) == set(recs)
+        for v, rec in recs.items():
+            assert records_equal(reply.records[v], rec)
+
+    @SETTINGS
+    @given(record_maps)
+    def test_binary_equals_json_form(self, recs):
+        """Both wire forms of the same reply decode to the same records."""
+        staged = RecordsPayload(recs)
+        payload = encode_binary_payload(
+            {"id": 1, "result": staged}, kind="recs", path=("result",)
+        )
+        via_binary = decode_binary_payload(payload)["result"].records
+        via_json = {
+            int(v): decode_record(data) for v, data in staged.to_json().items()
+        }
+        assert set(via_binary) == set(via_json)
+        for v in via_json:
+            assert records_equal(via_binary[v], via_json[v])
+
+    @SETTINGS
+    @given(updates)
+    def test_update_list_round_trips(self, upds):
+        message = {"id": 3, "op": "put_edges", "args": {"ts": 4, "updates": upds}}
+        payload = encode_binary_payload(
+            message, kind="upds", path=("args", "updates")
+        )
+        decoded = decode_binary_payload(payload)
+        assert decoded["op"] == "put_edges"
+        assert decoded["args"]["ts"] == 4
+        assert decoded["args"]["updates"] == upds
+
+    @SETTINGS
+    @given(updates)
+    def test_binary_updates_equal_json_updates(self, upds):
+        payload = encode_binary_payload(
+            {"id": 1, "args": {"updates": upds}}, kind="upds", path=("args", "updates")
+        )
+        via_binary = decode_binary_payload(payload)["args"]["updates"]
+        via_json = [
+            EdgeUpdate(u, v, added=added, label=label, direction=direction)
+            for u, v, added, label, direction in map(encode_edge_update, upds)
+        ]
+        assert via_binary == via_json
+
+
+class TestCorruptPayloads:
+    @SETTINGS
+    @given(record_maps, st.data())
+    def test_any_truncation_raises(self, recs, data):
+        payload = encode_binary_payload(
+            {"id": 1, "result": RecordsPayload(recs)}, kind="recs", path=("result",)
+        )
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        with pytest.raises(ProtocolError):
+            decode_binary_payload(payload[:cut])
+
+    @SETTINGS
+    @given(record_maps, st.binary(min_size=1, max_size=8))
+    def test_trailing_bytes_raise(self, recs, extra):
+        payload = encode_binary_payload(
+            {"id": 1, "result": RecordsPayload(recs)}, kind="recs", path=("result",)
+        )
+        with pytest.raises(ProtocolError):
+            decode_binary_payload(payload + extra)
+
+    def test_oversized_envelope_length_raises(self):
+        payload = encode_binary_payload(
+            {"id": 1, "result": RecordsPayload({})}, kind="recs", path=("result",)
+        )
+        mangled = b"\xff\xff\xff\xff" + payload[4:]
+        with pytest.raises(ProtocolError, match="overruns"):
+            decode_binary_payload(mangled)
+
+    def test_bad_marker_shapes_raise(self):
+        from repro.net.wire import _U32, encode_payload
+
+        for envelope in (
+            {"id": 1},  # no marker at all
+            {"id": 1, "_b": "recs"},  # not a list
+            {"id": 1, "_b": ["nope", "result"]},  # unknown kind
+            {"id": 1, "_b": ["recs"]},  # no path
+            {"id": 1, "_b": ["upds", "args", "updates"]},  # parent dict absent
+        ):
+            env = encode_payload(envelope)
+            with pytest.raises(ProtocolError):
+                decode_binary_payload(_U32.pack(len(env)) + env)
+
+
+class TestUnrepresentableFallsBack:
+    def test_out_of_range_vertex_id_raises_value_error(self):
+        recs = {2**70: None}
+        with pytest.raises(ValueError):
+            encode_binary_payload(
+                {"id": 1, "result": RecordsPayload(recs)},
+                kind="recs",
+                path=("result",),
+            )
+
+    def test_non_string_label_raises_value_error(self):
+        upds = [EdgeUpdate(1, 2, added=True, label=7)]
+        with pytest.raises(ValueError):
+            encode_binary_payload(
+                {"id": 1, "args": {"updates": upds}},
+                kind="upds",
+                path=("args", "updates"),
+            )
+
+    def test_client_encoder_falls_back_to_json(self):
+        from repro.net.client import NetStoreClient
+
+        message = {
+            "id": 1,
+            "op": "put_edges",
+            "args": {"ts": 1, "updates": [EdgeUpdate(1, 2, added=True, label=7)]},
+        }
+        payload, flags = NetStoreClient._edges_encoder(message)
+        assert flags == 0  # JSON fallback, no binary flag
+        from repro.net.wire import decode_payload
+
+        decoded = decode_payload(payload)
+        assert decoded["args"]["updates"] == [[1, 2, True, 7, None]]
+
+
+class TestNegotiationMatrix:
+    """Feature negotiation: no hard protocol break in either direction."""
+
+    def _serve(self, monkeypatch=None, features=None):
+        from repro.net import server as server_mod
+        from repro.store.mvstore import MultiVersionStore
+
+        if features is not None:
+            monkeypatch.setattr(server_mod, "SERVER_FEATURES", features)
+        store = MultiVersionStore()
+        return store, server_mod.StoreServer(store).start()
+
+    def test_binary_client_against_json_only_server(self, monkeypatch):
+        """A server that never advertised "bin"/"pipe" sees only plain
+        JSON frames from a fully binary-capable client."""
+        from repro.net.client import NetStoreClient
+
+        _, server = self._serve(monkeypatch, features=("trace",))
+        client = NetStoreClient(server.address)
+        try:
+            assert client._binary is False and client._pipeline is False
+            client.apply_edge_updates(1, [EdgeUpdate(1, 2, added=True)])
+            client.prefetch([1, 2])
+            assert client.neighbors_at(1, 1) == [2]
+            # the coalesced op was never attempted against the old server
+            assert "put_edges" not in client.net_log.per_op
+            assert client.net_log.per_op["add_edge"] == 1
+        finally:
+            client.close()
+            server.close()
+
+    def test_json_client_against_binary_server(self):
+        """A client that never sends "accept" gets plain JSON replies from
+        a binary-capable server (reply form is per-request, not global)."""
+        from repro.net.rpc import RpcClient
+
+        store, server = self._serve()
+        store.add_edge(1, 2, 1, label="x")
+        client = RpcClient(*server.address)
+        try:
+            reply = client.call("multi_get", {"vs": [1]})
+            assert isinstance(reply, dict) and "1" in reply  # JSON map form
+            record = decode_record(reply["1"])
+            assert 2 in record.edges
+            bare = client.call("get_record", {"v": 1})
+            assert records_equal(decode_record(bare), record)
+        finally:
+            client.close()
+            server.close()
+
+    def test_binary_client_against_binary_server(self):
+        from repro.net.client import NetStoreClient
+
+        store, server = self._serve()
+        store.add_edge(1, 2, 1, label="x")
+        client = NetStoreClient(server.address)
+        try:
+            assert client._binary is True and client._pipeline is True
+            client.prefetch([1, 2, 3])
+            assert client.neighbors_at(1, 1) == [2]
+            assert client.edge_label_at(1, 2, 1) == "x"
+        finally:
+            client.close()
+            server.close()

@@ -377,6 +377,43 @@ class TestRL010:
         }
         assert run(tmp_path, files, ("RL010",)) == []
 
+    # -- pipelined dispatch (PR 10) -----------------------------------
+
+    def test_pipelined_worker_break_then_cleanup_is_clean(self, tmp_path):
+        # the pipelined server worker: a send that fails on a dead
+        # connection stops draining (break) and post-loop code flips the
+        # shared open flag — the handler itself stays pure cleanup
+        files = {
+            "net/pipeline.py": """
+                def worker(queue, conn, state):
+                    while queue:
+                        request = queue.popleft()
+                        try:
+                            conn.sendall(request)
+                        except OSError:
+                            break
+                    state["open"] = False
+                """,
+        }
+        assert run(tmp_path, files, ("RL010",)) == []
+
+    def test_pipelined_worker_swallowing_and_continuing_flags(self, tmp_path):
+        # absorbing the transport fault and carrying on with real work
+        # in the handler is not cleanup: translate or re-raise
+        files = {
+            "net/pipeline.py": """
+                def worker(queue, conn, replies):
+                    while queue:
+                        request = queue.popleft()
+                        try:
+                            conn.sendall(request)
+                        except OSError as exc:
+                            replies.append(str(exc))
+                """,
+        }
+        violations = run(tmp_path, files, ("RL010",))
+        assert [v.rule_id for v in violations] == ["RL010"]
+
 
 # -- RL011 -------------------------------------------------------------------
 

@@ -351,6 +351,32 @@ class TestTelemetryNullObjectRL004:
         """
         assert rules_hit(src, path="src/repro/net/client.py") == []
 
+    # -- pipelined channel paths (PR 10) ------------------------------
+
+    def test_flags_tracer_none_branch_in_pipelined_read_loop(self):
+        # every pipelined reply crosses the channel read loop, so it is
+        # as hot as the dispatch path: null-object discipline applies
+        src = """
+            def read_loop(self, tracer):
+                while True:
+                    reply = self.recv()
+                    if tracer is not None:
+                        tracer.record("rpc.reply", 0, 1)
+                    self.complete(reply)
+        """
+        assert rules_hit(src, path="src/repro/net/rpc.py") == ["RL004"]
+
+    def test_allows_enabled_gate_in_pipelined_read_loop(self):
+        src = """
+            def read_loop(self, tracer):
+                while True:
+                    reply = self.recv()
+                    if tracer.enabled:
+                        tracer.record("rpc.reply", 0, 1)
+                    self.complete(reply)
+        """
+        assert rules_hit(src, path="src/repro/net/rpc.py") == []
+
 
 class TestAlgorithmPurityRL005:
     def test_flags_io_in_filter(self):
@@ -514,6 +540,35 @@ class TestNetEncapsulationRL007:
                 return base + "/control.socket"
         """
         assert rules_hit(src, path="src/repro/util/_fixture.py") == []
+
+    # -- pipelined fetch-ahead (PR 10) --------------------------------
+
+    def test_flags_hand_rolled_pipeline_outside_net(self):
+        # the pipelined channel lives in repro.net.rpc; a caller wanting
+        # fetch-ahead goes through RpcClient.submit, never by opening
+        # its own socket to interleave request frames
+        src = """
+            import socket
+
+            def pipeline(host, port, requests):
+                conn = socket.create_connection((host, port))
+                for request in requests:
+                    conn.sendall(request)
+                return conn
+        """
+        assert rules_hit(src, path="src/repro/streaming/_fixture.py") == [
+            "RL007"
+        ]
+
+    def test_submit_based_fetch_ahead_passes(self):
+        src = """
+            from repro.net import NetStoreClient
+
+            def fetch_ahead(addr, frontier):
+                client = NetStoreClient(addr, batch_size=64)
+                return client.prefetch(frontier)
+        """
+        assert rules_hit(src, path="src/repro/runtime/_fixture.py") == []
 
 
 class TestSyntaxErrors:

@@ -1,0 +1,57 @@
+"""The cross-PR trajectory gate sees the experiments it must gate.
+
+``benchmarks/check_trajectory.py`` discovers time-like leaves
+generically (keys ending ``_s``/``_seconds``), so a new benchmark is
+covered by naming its wall-time measurements accordingly.  These tests
+pin that contract for the PR 10 ``net_pipeline`` experiment — if its
+keys are ever renamed away from the ``_s`` convention, the gate would
+silently stop comparing them and this fails instead.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_trajectory", REPO / "benchmarks" / "check_trajectory.py"
+)
+check_trajectory = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_trajectory)
+
+
+class TestNetPipelineCoverage:
+    DOC = {
+        "net_pipeline": {
+            "blocking_fetch_total_s": 0.030,
+            "pipelined_fetch_total_s": 0.012,
+            "pipeline_speedup_x": 2.5,
+            "frontier": 250,
+            "pipeline_batch": 64,
+        }
+    }
+
+    def test_time_leaves_include_both_fetch_timings(self):
+        leaves = dict(check_trajectory.time_leaves(self.DOC))
+        assert leaves == {
+            "net_pipeline.blocking_fetch_total_s": 0.030,
+            "net_pipeline.pipelined_fetch_total_s": 0.012,
+        }  # speedup ratio and counts are not gated; timings are
+
+    def test_regression_in_pipelined_fetch_fails_the_gate(self):
+        older = dict(check_trajectory.time_leaves(self.DOC))
+        slower = json.loads(json.dumps(self.DOC))
+        slower["net_pipeline"]["pipelined_fetch_total_s"] = 0.020
+        newer = dict(check_trajectory.time_leaves(slower))
+        regressions = check_trajectory.compare(older, newer, threshold=0.15)
+        assert [key for key, *_ in regressions] == [
+            "net_pipeline.pipelined_fetch_total_s"
+        ]
+
+    def test_current_bench_file_records_the_experiment(self):
+        bench = REPO / "BENCH_PR10.json"
+        doc = json.loads(bench.read_text())
+        leaves = dict(check_trajectory.time_leaves(doc))
+        assert "net_pipeline.blocking_fetch_total_s" in leaves
+        assert "net_pipeline.pipelined_fetch_total_s" in leaves

@@ -19,6 +19,8 @@ from repro.net.errors import (
     VersionMismatchError,
 )
 from repro.net.frames import (
+    FLAG_BINARY,
+    FLAG_PIPELINE,
     HEADER_SIZE,
     MAGIC,
     PROTOCOL_VERSION,
@@ -58,14 +60,32 @@ def reader(data, chunk=None):
 class TestFrameRoundTrip:
     def test_round_trip(self):
         frame = encode_frame(MessageType.REQUEST, b'{"id":1}')
-        msg_type, payload = read_frame(reader(frame))
+        msg_type, flags, payload = read_frame(reader(frame))
         assert msg_type is MessageType.REQUEST
+        assert flags == 0
         assert payload == b'{"id":1}'
+
+    def test_flag_bits_round_trip(self):
+        for bits in (FLAG_BINARY, FLAG_PIPELINE, FLAG_BINARY | FLAG_PIPELINE):
+            frame = encode_frame(MessageType.RESPONSE, b"x", flags=bits)
+            msg_type, flags, payload = read_frame(reader(frame))
+            assert msg_type is MessageType.RESPONSE
+            assert flags == bits
+            assert payload == b"x"
+
+    def test_unknown_flag_bits_rejected(self):
+        # 0x20 is not an assigned flag: the type byte decodes to an
+        # unknown message type, not a silently-ignored extension
+        header = struct.pack(
+            ">2sBBI", MAGIC, PROTOCOL_VERSION, int(MessageType.REQUEST) | 0x20, 0
+        )
+        with pytest.raises(UnknownMessageTypeError):
+            decode_header(header)
 
     def test_zero_length_payload(self):
         frame = encode_frame(MessageType.RESPONSE, b"")
         assert len(frame) == HEADER_SIZE
-        msg_type, payload = read_frame(reader(frame))
+        msg_type, flags, payload = read_frame(reader(frame))
         assert msg_type is MessageType.RESPONSE
         assert payload == b""
 
@@ -73,7 +93,9 @@ class TestFrameRoundTrip:
         limit = 1 << 16
         payload = b"x" * limit
         frame = encode_frame(MessageType.REQUEST, payload, max_payload=limit)
-        got_type, got = read_frame(reader(frame, chunk=8192), max_payload=limit)
+        got_type, got_flags, got = read_frame(
+            reader(frame, chunk=8192), max_payload=limit
+        )
         assert got == payload
 
     def test_oversized_payload_rejected_on_encode(self):
@@ -89,7 +111,7 @@ class TestFrameRoundTrip:
 
     def test_dribbling_reader_reassembles(self):
         frame = encode_frame(MessageType.ERROR, b"0123456789" * 5)
-        msg_type, payload = read_frame(reader(frame, chunk=3))
+        msg_type, flags, payload = read_frame(reader(frame, chunk=3))
         assert msg_type is MessageType.ERROR
         assert payload == b"0123456789" * 5
 

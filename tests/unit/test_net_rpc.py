@@ -153,7 +153,7 @@ class TestTransportFaults:
         def serve():
             conn, _ = lis.accept()
             for _ in range(2):
-                _, payload = read_frame(conn.recv)
+                _, _, payload = read_frame(conn.recv)
                 req = decode_payload(payload)
                 for reply_id in (req["id"] - 1, req["id"], req["id"]):
                     conn.sendall(
